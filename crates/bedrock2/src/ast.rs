@@ -1,0 +1,458 @@
+//! Abstract syntax of Bedrock2.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The byte width of a memory access. Bedrock2, like the paper's version,
+/// supports 1-, 2-, and 4-byte loads and stores on a 32-bit machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Size {
+    /// One byte.
+    One,
+    /// Two bytes.
+    Two,
+    /// Four bytes (a full word).
+    Four,
+}
+
+impl Size {
+    /// The width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Size::One => 1,
+            Size::Two => 2,
+            Size::Four => 4,
+        }
+    }
+
+    /// Mask selecting the low `bytes()` bytes of a word.
+    pub fn mask(self) -> u32 {
+        match self {
+            Size::One => 0xFF,
+            Size::Two => 0xFFFF,
+            Size::Four => u32::MAX,
+        }
+    }
+}
+
+/// Binary operators of the expression language. This is exactly the paper's
+/// operator set: note the absence of signed division (RISC-V `div` can be
+/// recovered from `divu` and sign fixups in source code where needed) and
+/// the presence of both signed and unsigned comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low 32 bits).
+    Mul,
+    /// High 32 bits of the unsigned product.
+    MulHuu,
+    /// Unsigned division; division by zero yields the RISC-V result.
+    DivU,
+    /// Unsigned remainder; remainder by zero yields the RISC-V result.
+    RemU,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift right (shift amount masked to 5 bits).
+    Sru,
+    /// Shift left (shift amount masked to 5 bits).
+    Slu,
+    /// Arithmetic shift right (shift amount masked to 5 bits).
+    Srs,
+    /// Signed less-than; yields 0 or 1.
+    Lts,
+    /// Unsigned less-than; yields 0 or 1.
+    Ltu,
+    /// Equality; yields 0 or 1.
+    Eq,
+}
+
+impl BinOp {
+    /// Evaluates the operator on concrete words.
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        use riscv_spec::word;
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::MulHuu => word::mulhu(a, b),
+            BinOp::DivU => word::divu(a, b),
+            BinOp::RemU => word::remu(a, b),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Sru => word::srl(a, b),
+            BinOp::Slu => word::sll(a, b),
+            BinOp::Srs => word::sra(a, b),
+            BinOp::Lts => word::lts(a, b) as u32,
+            BinOp::Ltu => word::ltu(a, b) as u32,
+            BinOp::Eq => (a == b) as u32,
+        }
+    }
+
+    /// The C-like operator symbol used by the pretty printer.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::MulHuu => "*h",
+            BinOp::DivU => "/",
+            BinOp::RemU => "%",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Sru => ">>",
+            BinOp::Slu => "<<",
+            BinOp::Srs => ">>s",
+            BinOp::Lts => "<s",
+            BinOp::Ltu => "<",
+            BinOp::Eq => "==",
+        }
+    }
+
+    /// All operators, for generators and exhaustive tests.
+    pub const ALL: [BinOp; 15] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::MulHuu,
+        BinOp::DivU,
+        BinOp::RemU,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Sru,
+        BinOp::Slu,
+        BinOp::Srs,
+        BinOp::Lts,
+        BinOp::Ltu,
+        BinOp::Eq,
+    ];
+}
+
+/// An expression. Expressions are pure except for `Load`, which reads the
+/// current memory (and whose out-of-bounds behavior is undefined).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A word literal.
+    Literal(u32),
+    /// A local variable; reading an unbound variable is undefined behavior.
+    Var(String),
+    /// A memory load of the given width, zero-extended to a word.
+    Load(Size, Box<Expr>),
+    /// A binary operation.
+    Op(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// All variables read by this expression, in evaluation order (with
+    /// duplicates).
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Var(x) => out.push(x),
+            Expr::Load(_, e) => e.collect_vars(out),
+            Expr::Op(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// True when the expression contains no loads (is pure in memory).
+    pub fn is_pure(&self) -> bool {
+        match self {
+            Expr::Literal(_) | Expr::Var(_) => true,
+            Expr::Load(..) => false,
+            Expr::Op(_, a, b) => a.is_pure() && b.is_pure(),
+        }
+    }
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// Does nothing.
+    Skip,
+    /// `x = e`.
+    Set(String, Expr),
+    /// `store<size>(addr, value)`.
+    Store(Size, Expr, Expr),
+    /// `if (cond != 0) { then } else { else }`.
+    If(Expr, Box<Stmt>, Box<Stmt>),
+    /// `while (cond != 0) { body }`.
+    While(Expr, Box<Stmt>),
+    /// Sequential composition.
+    Block(Vec<Stmt>),
+    /// `r1, …, rn = f(a1, …, am)` — a call to a Bedrock2-defined function
+    /// (the language supports returning tuples).
+    Call(Vec<String>, String, Vec<Expr>),
+    /// `r1, …, rn = ext!f(a1, …, am)` — a call to an *external* procedure,
+    /// recorded in the interaction trace; its behavior is a parameter of
+    /// the semantics (§6.1). For the lightbulb, the instances are
+    /// `MMIOREAD` and `MMIOWRITE`.
+    Interact(Vec<String>, String, Vec<Expr>),
+    /// `x = stackalloc(n); { body }` — allocates `n` bytes (rounded up to a
+    /// word multiple) with an *unspecified* address, the paper's example of
+    /// internal nondeterminism in the compiler's semantics (§5.3).
+    Stackalloc(String, u32, Box<Stmt>),
+}
+
+impl Stmt {
+    /// Number of AST nodes, used by inlining heuristics and test generators.
+    pub fn size(&self) -> usize {
+        match self {
+            Stmt::Skip | Stmt::Set(..) | Stmt::Store(..) | Stmt::Call(..) | Stmt::Interact(..) => 1,
+            Stmt::If(_, t, e) => 1 + t.size() + e.size(),
+            Stmt::While(_, b) => 1 + b.size(),
+            Stmt::Block(ss) => 1 + ss.iter().map(Stmt::size).sum::<usize>(),
+            Stmt::Stackalloc(_, _, b) => 1 + b.size(),
+        }
+    }
+
+    /// Names of all Bedrock2 functions this statement calls (transitively
+    /// within this statement only).
+    pub fn callees(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_callees(&mut out);
+        out
+    }
+
+    fn collect_callees<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Stmt::Call(_, f, _) => out.push(f),
+            Stmt::If(_, t, e) => {
+                t.collect_callees(out);
+                e.collect_callees(out);
+            }
+            Stmt::While(_, b) | Stmt::Stackalloc(_, _, b) => b.collect_callees(out),
+            Stmt::Block(ss) => ss.iter().for_each(|s| s.collect_callees(out)),
+            _ => {}
+        }
+    }
+}
+
+/// A function definition. Parameters and returns are (lists of) word-typed
+/// variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// Parameter names, bound on entry.
+    pub params: Vec<String>,
+    /// Names of the locals whose final values are returned.
+    pub rets: Vec<String>,
+    /// The body.
+    pub body: Stmt,
+}
+
+impl Function {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, params: &[&str], rets: &[&str], body: Stmt) -> Function {
+        Function {
+            name: name.into(),
+            params: params.iter().map(|s| s.to_string()).collect(),
+            rets: rets.iter().map(|s| s.to_string()).collect(),
+            body,
+        }
+    }
+}
+
+/// A whole program: a set of named functions (no globals, no mutual
+/// dependence on compilation units — §5.2).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Functions by name, ordered for deterministic compilation.
+    pub functions: BTreeMap<String, Function>,
+}
+
+impl Program {
+    /// The empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Builds a program from an iterator of functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two functions share a name.
+    pub fn from_functions<I: IntoIterator<Item = Function>>(funcs: I) -> Program {
+        let mut p = Program::new();
+        for f in funcs {
+            p.add(f);
+        }
+        p
+    }
+
+    /// Adds a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function with the same name already exists.
+    pub fn add(&mut self, f: Function) {
+        let prev = self.functions.insert(f.name.clone(), f);
+        assert!(prev.is_none(), "duplicate function definition");
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.get(name)
+    }
+
+    /// Checks that every `Call` targets a defined function with matching
+    /// arity, and that there is no (mutual) recursion. Returns the list of
+    /// problems found, empty when the program is well-formed.
+    pub fn check(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for f in self.functions.values() {
+            self.check_stmt(f, &f.body, &mut problems);
+            if self.reaches(&f.name, &f.name, &mut Vec::new()) {
+                problems.push(format!("function '{}' is (mutually) recursive", f.name));
+            }
+        }
+        problems
+    }
+
+    fn check_stmt(&self, f: &Function, s: &Stmt, problems: &mut Vec<String>) {
+        match s {
+            Stmt::Call(rets, callee, args) => match self.functions.get(callee) {
+                None => problems.push(format!("'{}' calls undefined '{}'", f.name, callee)),
+                Some(c) => {
+                    if c.params.len() != args.len() || c.rets.len() != rets.len() {
+                        problems.push(format!(
+                            "'{}' calls '{}' with arity {}→{}, expected {}→{}",
+                            f.name,
+                            callee,
+                            args.len(),
+                            rets.len(),
+                            c.params.len(),
+                            c.rets.len()
+                        ));
+                    }
+                }
+            },
+            Stmt::If(_, t, e) => {
+                self.check_stmt(f, t, problems);
+                self.check_stmt(f, e, problems);
+            }
+            Stmt::While(_, b) | Stmt::Stackalloc(_, _, b) => self.check_stmt(f, b, problems),
+            Stmt::Block(ss) => ss.iter().for_each(|s| self.check_stmt(f, s, problems)),
+            _ => {}
+        }
+    }
+
+    fn reaches(&self, from: &str, target: &str, visiting: &mut Vec<String>) -> bool {
+        let Some(f) = self.functions.get(from) else {
+            return false;
+        };
+        for callee in f.body.callees() {
+            if callee == target {
+                return true;
+            }
+            if !visiting.iter().any(|v| v == callee) {
+                visiting.push(callee.to_string());
+                if self.reaches(callee, target, visiting) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for func in self.functions.values() {
+            writeln!(f, "{}", crate::display::render_function(func))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+
+    #[test]
+    fn binop_eval_matches_riscv_word_ops() {
+        assert_eq!(BinOp::Add.eval(u32::MAX, 1), 0);
+        assert_eq!(BinOp::DivU.eval(7, 0), u32::MAX);
+        assert_eq!(BinOp::RemU.eval(7, 0), 7);
+        assert_eq!(BinOp::Lts.eval(u32::MAX, 0), 1);
+        assert_eq!(BinOp::Ltu.eval(u32::MAX, 0), 0);
+        assert_eq!(BinOp::Eq.eval(3, 3), 1);
+        assert_eq!(BinOp::Srs.eval(0x8000_0000, 31), u32::MAX);
+    }
+
+    #[test]
+    fn expr_vars_in_order() {
+        let e = add(var("a"), load4(add(var("b"), var("a"))));
+        assert_eq!(e.vars(), vec!["a", "b", "a"]);
+        assert!(!e.is_pure());
+        assert!(add(var("a"), lit(1)).is_pure());
+    }
+
+    #[test]
+    fn program_check_catches_undefined_and_arity() {
+        let f = Function::new("f", &["x"], &[], call(&[], "g", [var("x"), lit(1)]));
+        let g = Function::new("g", &["a"], &[], Stmt::Skip);
+        let p = Program::from_functions([f, g]);
+        let problems = p.check();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("arity"));
+    }
+
+    #[test]
+    fn program_check_catches_recursion() {
+        let f = Function::new("f", &[], &[], call(&[], "g", []));
+        let g = Function::new("g", &[], &[], call(&[], "f", []));
+        let p = Program::from_functions([f, g]);
+        let problems = p.check();
+        assert!(
+            problems.iter().any(|m| m.contains("recursive")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn well_formed_program_checks_clean() {
+        let leaf = Function::new("leaf", &["x"], &["y"], set("y", add(var("x"), lit(1))));
+        let main = Function::new("main", &[], &["r"], call(&["r"], "leaf", [lit(41)]));
+        assert!(Program::from_functions([leaf, main]).check().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function definition")]
+    fn duplicate_functions_panic() {
+        Program::from_functions([
+            Function::new("f", &[], &[], Stmt::Skip),
+            Function::new("f", &[], &[], Stmt::Skip),
+        ]);
+    }
+
+    #[test]
+    fn stmt_size_and_callees() {
+        let s = block([
+            set("x", lit(1)),
+            if_(var("x"), call(&[], "f", []), Stmt::Skip),
+            while_(var("x"), call(&[], "g", [])),
+        ]);
+        assert_eq!(s.callees(), vec!["f", "g"]);
+        assert!(s.size() >= 6);
+    }
+}

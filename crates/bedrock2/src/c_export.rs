@@ -1,0 +1,310 @@
+//! Export of Bedrock2 programs to compilable C.
+//!
+//! Figure 1 of the paper shows "Exported C code" as one of the compatibility
+//! arrows out of the Coq development: Bedrock2 programs can be rendered as C
+//! and compiled with mainstream toolchains (this is how the authors ran
+//! their verified sources on the commercial FE310 microcontroller). This
+//! module reproduces that arrow. The output is self-contained C11:
+//!
+//! * the Bedrock2 word type becomes `uintptr_t` (32-bit on the target);
+//! * loads and stores become `memcpy` through byte pointers, avoiding
+//!   strict-aliasing trouble;
+//! * multiple return values become output pointers;
+//! * external calls become calls to `extern` functions the integrator
+//!   provides (for the lightbulb: `MMIOREAD`/`MMIOWRITE`);
+//! * `stackalloc` becomes a local array.
+//!
+//! The export is *not* verified (neither was the paper's); it exists for
+//! interoperability and eyeball-level cross-checking against gcc output.
+
+use crate::ast::{BinOp, Expr, Function, Program, Stmt};
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+fn c_expr_typed(e: &Expr, word: &str) -> String {
+    let c_expr = |e: &Expr| c_expr_typed(e, word);
+    match e {
+        Expr::Literal(n) => format!("({word})0x{n:x}u"),
+        Expr::Var(x) => x.clone(),
+        Expr::Load(s, a) => format!("_br2_load{}({})", s.bytes(), c_expr(a)),
+        Expr::Op(o, a, b) => {
+            let (a, b) = (c_expr(a), c_expr(b));
+            match o {
+                BinOp::Add => format!("({a} + {b})"),
+                BinOp::Sub => format!("({a} - {b})"),
+                BinOp::Mul => format!("({a} * {b})"),
+                BinOp::MulHuu => {
+                    format!("({word})(((uint64_t)(uint32_t){a} * (uint64_t)(uint32_t){b}) >> 32)")
+                }
+                BinOp::DivU => format!("_br2_divu({a}, {b})"),
+                BinOp::RemU => format!("_br2_remu({a}, {b})"),
+                BinOp::And => format!("({a} & {b})"),
+                BinOp::Or => format!("({a} | {b})"),
+                BinOp::Xor => format!("({a} ^ {b})"),
+                BinOp::Sru => format!("({a} >> ({b} & 31))"),
+                BinOp::Slu => format!("({a} << ({b} & 31))"),
+                BinOp::Srs => format!("({word})((int32_t){a} >> ({b} & 31))"),
+                BinOp::Lts => format!("({word})((int32_t){a} < (int32_t){b})"),
+                BinOp::Ltu => format!("({word})({a} < {b})"),
+                BinOp::Eq => format!("({word})({a} == {b})"),
+            }
+        }
+    }
+}
+
+fn locals_of(s: &Stmt, out: &mut BTreeSet<String>) {
+    match s {
+        Stmt::Set(x, _) => {
+            out.insert(x.clone());
+        }
+        Stmt::If(_, t, e) => {
+            locals_of(t, out);
+            locals_of(e, out);
+        }
+        Stmt::While(_, b) => locals_of(b, out),
+        Stmt::Block(ss) => ss.iter().for_each(|s| locals_of(s, out)),
+        Stmt::Call(rets, _, _) | Stmt::Interact(rets, _, _) => {
+            rets.iter().for_each(|r| {
+                out.insert(r.clone());
+            });
+        }
+        Stmt::Stackalloc(x, _, b) => {
+            out.insert(x.clone());
+            locals_of(b, out);
+        }
+        _ => {}
+    }
+}
+
+fn externs_of(s: &Stmt, out: &mut BTreeSet<(String, usize, usize)>) {
+    match s {
+        Stmt::Interact(rets, action, args) => {
+            out.insert((action.clone(), args.len(), rets.len()));
+        }
+        Stmt::If(_, t, e) => {
+            externs_of(t, out);
+            externs_of(e, out);
+        }
+        Stmt::While(_, b) | Stmt::Stackalloc(_, _, b) => externs_of(b, out),
+        Stmt::Block(ss) => ss.iter().for_each(|s| externs_of(s, out)),
+        _ => {}
+    }
+}
+
+fn emit_stmt(out: &mut String, s: &Stmt, depth: usize, alloc_counter: &mut u32, word: &str) {
+    let pad = "  ".repeat(depth);
+    let c_expr = |e: &Expr| c_expr_typed(e, word);
+    match s {
+        Stmt::Skip => {}
+        Stmt::Set(x, e) => {
+            let _ = writeln!(out, "{pad}{x} = {};", c_expr(e));
+        }
+        Stmt::Store(sz, a, v) => {
+            let _ = writeln!(
+                out,
+                "{pad}_br2_store{}({}, {});",
+                sz.bytes(),
+                c_expr(a),
+                c_expr(v)
+            );
+        }
+        Stmt::If(c, t, e) => {
+            let _ = writeln!(out, "{pad}if ({}) {{", c_expr(c));
+            emit_stmt(out, t, depth + 1, alloc_counter, word);
+            if **e != Stmt::Skip {
+                let _ = writeln!(out, "{pad}}} else {{");
+                emit_stmt(out, e, depth + 1, alloc_counter, word);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::While(c, b) => {
+            let _ = writeln!(out, "{pad}while ({}) {{", c_expr(c));
+            emit_stmt(out, b, depth + 1, alloc_counter, word);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Block(ss) => {
+            for s in ss {
+                emit_stmt(out, s, depth, alloc_counter, word);
+            }
+        }
+        Stmt::Call(rets, f, args) => {
+            let mut call_args: Vec<String> = args.iter().map(c_expr).collect();
+            call_args.extend(rets.iter().map(|r| format!("&{r}")));
+            let _ = writeln!(out, "{pad}{f}({});", call_args.join(", "));
+        }
+        Stmt::Interact(rets, action, args) => {
+            let mut call_args: Vec<String> = args.iter().map(c_expr).collect();
+            call_args.extend(rets.iter().map(|r| format!("&{r}")));
+            let _ = writeln!(out, "{pad}{action}({});", call_args.join(", "));
+        }
+        Stmt::Stackalloc(x, n, b) => {
+            let id = *alloc_counter;
+            *alloc_counter += 1;
+            let words = n.div_ceil(4);
+            let _ = writeln!(out, "{pad}{{");
+            let _ = writeln!(out, "{pad}  uint32_t _br2_stack{id}[{words}];");
+            let _ = writeln!(out, "{pad}  {x} = ({word})(uintptr_t)&_br2_stack{id}[0];");
+            emit_stmt(out, b, depth + 1, alloc_counter, word);
+            let _ = writeln!(out, "{pad}}}");
+        }
+    }
+}
+
+const PRELUDE: &str = r#"#include <stdint.h>
+#include <string.h>
+
+static inline uintptr_t _br2_load1(uintptr_t a) { uint8_t v; memcpy(&v, (void*)a, 1); return v; }
+static inline uintptr_t _br2_load2(uintptr_t a) { uint16_t v; memcpy(&v, (void*)a, 2); return v; }
+static inline uintptr_t _br2_load4(uintptr_t a) { uint32_t v; memcpy(&v, (void*)a, 4); return v; }
+static inline void _br2_store1(uintptr_t a, uintptr_t v) { uint8_t x = (uint8_t)v; memcpy((void*)a, &x, 1); }
+static inline void _br2_store2(uintptr_t a, uintptr_t v) { uint16_t x = (uint16_t)v; memcpy((void*)a, &x, 2); }
+static inline void _br2_store4(uintptr_t a, uintptr_t v) { uint32_t x = (uint32_t)v; memcpy((void*)a, &x, 4); }
+static inline uintptr_t _br2_divu(uintptr_t a, uintptr_t b) { return b == 0 ? (uintptr_t)-1 : a / b; }
+static inline uintptr_t _br2_remu(uintptr_t a, uintptr_t b) { return b == 0 ? a : a % b; }
+"#;
+
+/// Prelude for [`export_for_host_testing`]: the 32-bit word type is
+/// explicit and memory is a simulated flat array, so the exported program
+/// computes identically on a 64-bit host.
+const HOST_PRELUDE: &str = r#"#include <stdint.h>
+#include <string.h>
+
+#define BR2_MEM_BYTES (1u << 16)
+static uint8_t _br2_mem[BR2_MEM_BYTES];
+
+static inline uint32_t _br2_load1(uint32_t a) { return _br2_mem[a % BR2_MEM_BYTES]; }
+static inline uint32_t _br2_load2(uint32_t a) { uint16_t v; memcpy(&v, &_br2_mem[a % BR2_MEM_BYTES], 2); return v; }
+static inline uint32_t _br2_load4(uint32_t a) { uint32_t v; memcpy(&v, &_br2_mem[a % BR2_MEM_BYTES], 4); return v; }
+static inline void _br2_store1(uint32_t a, uint32_t v) { _br2_mem[a % BR2_MEM_BYTES] = (uint8_t)v; }
+static inline void _br2_store2(uint32_t a, uint32_t v) { uint16_t x = (uint16_t)v; memcpy(&_br2_mem[a % BR2_MEM_BYTES], &x, 2); }
+static inline void _br2_store4(uint32_t a, uint32_t v) { memcpy(&_br2_mem[a % BR2_MEM_BYTES], &v, 4); }
+static inline uint32_t _br2_divu(uint32_t a, uint32_t b) { return b == 0 ? 0xFFFFFFFFu : a / b; }
+static inline uint32_t _br2_remu(uint32_t a, uint32_t b) { return b == 0 ? a : a % b; }
+"#;
+
+fn signature(f: &Function, word: &str) -> String {
+    let mut params: Vec<String> = f.params.iter().map(|p| format!("{word} {p}")).collect();
+    params.extend(f.rets.iter().map(|r| format!("{word} *_out_{r}")));
+    format!("void {}({})", f.name, params.join(", "))
+}
+
+fn emit_function(out: &mut String, f: &Function, word: &str) {
+    let _ = writeln!(out, "{} {{", signature(f, word));
+    let mut locals = BTreeSet::new();
+    locals_of(&f.body, &mut locals);
+    for r in &f.rets {
+        locals.insert(r.clone());
+    }
+    for l in &locals {
+        if !f.params.contains(l) {
+            let _ = writeln!(out, "  {word} {l} = 0;");
+        }
+    }
+    let mut alloc_counter = 0;
+    emit_stmt(out, &f.body, 1, &mut alloc_counter, word);
+    for r in &f.rets {
+        let _ = writeln!(out, "  *_out_{r} = {r};");
+    }
+    let _ = writeln!(out, "}}");
+}
+
+/// Exports a whole program as a single C translation unit.
+///
+/// External procedures used by the program are declared `extern` with one
+/// `uintptr_t` parameter per argument and one `uintptr_t*` per result; the
+/// integrator supplies their definitions.
+pub fn export_program(p: &Program) -> String {
+    export_with(p, PRELUDE, "uintptr_t")
+}
+
+/// Exports for *host-side testing*: the word type is `uint32_t` and memory
+/// is a simulated 64 KiB array, so the program computes exactly as the
+/// 32-bit semantics prescribe even when compiled for a 64-bit host. Used
+/// by the gcc-backed differential test of the C export.
+pub fn export_for_host_testing(p: &Program) -> String {
+    export_with(p, HOST_PRELUDE, "uint32_t")
+}
+
+fn export_with(p: &Program, prelude: &str, word: &str) -> String {
+    let mut out = String::from(prelude);
+    out.push('\n');
+
+    let mut externs = BTreeSet::new();
+    for f in p.functions.values() {
+        externs_of(&f.body, &mut externs);
+    }
+    for (action, nargs, nrets) in &externs {
+        let mut params: Vec<String> = (0..*nargs).map(|i| format!("{word} a{i}")).collect();
+        params.extend((0..*nrets).map(|i| format!("{word} *r{i}")));
+        let _ = writeln!(out, "extern void {action}({});", params.join(", "));
+    }
+    out.push('\n');
+
+    // Forward declarations, then definitions (call graph is acyclic but
+    // BTreeMap order is alphabetical, not topological).
+    for f in p.functions.values() {
+        let _ = writeln!(out, "{};", signature(f, word));
+    }
+    out.push('\n');
+    for f in p.functions.values() {
+        emit_function(&mut out, f, word);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Function;
+    use crate::dsl::*;
+
+    fn sample_program() -> Program {
+        let helper = Function::new("bump", &["x"], &["y"], set("y", add(var("x"), lit(1))));
+        let main = Function::new(
+            "main_loop",
+            &[],
+            &["r"],
+            block([
+                call(&["r"], "bump", [lit(41)]),
+                interact(&["v"], "MMIOREAD", [lit(0x1002_404C)]),
+                when(
+                    eq(var("v"), lit(0)),
+                    stackalloc("buf", 8, store4(var("buf"), var("r"))),
+                ),
+            ]),
+        );
+        Program::from_functions([helper, main])
+    }
+
+    #[test]
+    fn exports_compilable_looking_c() {
+        let c = export_program(&sample_program());
+        assert!(c.contains("#include <stdint.h>"));
+        assert!(c.contains("extern void MMIOREAD(uintptr_t a0, uintptr_t *r0);"));
+        assert!(c.contains("void bump(uintptr_t x, uintptr_t *_out_y)"));
+        assert!(c.contains("bump((uintptr_t)0x29u, &r);"));
+        assert!(c.contains("uint32_t _br2_stack0[2];"));
+        assert!(c.contains("*_out_y = y;"));
+    }
+
+    #[test]
+    fn division_helpers_preserve_riscv_semantics() {
+        let c = export_program(&sample_program());
+        assert!(c.contains("b == 0 ? (uintptr_t)-1 : a / b"));
+        assert!(c.contains("b == 0 ? a : a % b"));
+    }
+
+    #[test]
+    fn locals_are_declared_once() {
+        let f = Function::new(
+            "f",
+            &[],
+            &["a"],
+            block([set("a", lit(1)), set("a", lit(2)), set("b", lit(3))]),
+        );
+        let c = export_program(&Program::from_functions([f]));
+        assert_eq!(c.matches("uintptr_t a = 0;").count(), 1);
+        assert_eq!(c.matches("uintptr_t b = 0;").count(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Pretty printing of Bedrock2 programs in a C-like concrete syntax.
+//!
+//! The output is for humans (debugging, documentation, and the listings in
+//! EXPERIMENTS.md); [`crate::c_export`] produces output for C compilers.
+
+use crate::ast::{Expr, Function, Size, Stmt};
+use std::fmt::Write;
+
+fn size_suffix(s: Size) -> &'static str {
+    match s {
+        Size::One => "1",
+        Size::Two => "2",
+        Size::Four => "4",
+    }
+}
+
+/// Renders an expression.
+pub fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Literal(n) => {
+            if *n >= 0x1000 {
+                format!("0x{n:x}")
+            } else {
+                n.to_string()
+            }
+        }
+        Expr::Var(x) => x.clone(),
+        Expr::Load(s, a) => format!("load{}({})", size_suffix(*s), render_expr(a)),
+        Expr::Op(o, a, b) => format!("({} {} {})", render_expr(a), o.symbol(), render_expr(b)),
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    match s {
+        Stmt::Skip => {
+            indent(out, depth);
+            out.push_str("/*skip*/;\n");
+        }
+        Stmt::Set(x, e) => {
+            indent(out, depth);
+            let _ = writeln!(out, "{x} = {};", render_expr(e));
+        }
+        Stmt::Store(sz, a, v) => {
+            indent(out, depth);
+            let _ = writeln!(
+                out,
+                "store{}({}, {});",
+                size_suffix(*sz),
+                render_expr(a),
+                render_expr(v)
+            );
+        }
+        Stmt::If(c, t, e) => {
+            indent(out, depth);
+            let _ = writeln!(out, "if ({}) {{", render_expr(c));
+            render_stmt(out, t, depth + 1);
+            if **e != Stmt::Skip {
+                indent(out, depth);
+                out.push_str("} else {\n");
+                render_stmt(out, e, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::While(c, b) => {
+            indent(out, depth);
+            let _ = writeln!(out, "while ({}) {{", render_expr(c));
+            render_stmt(out, b, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Block(ss) => {
+            for s in ss {
+                render_stmt(out, s, depth);
+            }
+        }
+        Stmt::Call(rets, f, args) => {
+            indent(out, depth);
+            if !rets.is_empty() {
+                let _ = write!(out, "{} = ", rets.join(", "));
+            }
+            let args: Vec<String> = args.iter().map(render_expr).collect();
+            let _ = writeln!(out, "{f}({});", args.join(", "));
+        }
+        Stmt::Interact(rets, action, args) => {
+            indent(out, depth);
+            if !rets.is_empty() {
+                let _ = write!(out, "{} = ", rets.join(", "));
+            }
+            let args: Vec<String> = args.iter().map(render_expr).collect();
+            let _ = writeln!(out, "ext!{action}({});", args.join(", "));
+        }
+        Stmt::Stackalloc(x, n, b) => {
+            indent(out, depth);
+            let _ = writeln!(out, "{x} = stackalloc({n}); {{");
+            render_stmt(out, b, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// Renders a whole function.
+pub fn render_function(f: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fn {}({}) -> ({}) {{",
+        f.name,
+        f.params.join(", "),
+        f.rets.join(", ")
+    );
+    render_stmt(&mut out, &f.body, 1);
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Function;
+    use crate::dsl::*;
+
+    #[test]
+    fn renders_readably() {
+        let f = Function::new(
+            "poll",
+            &["base"],
+            &["v"],
+            block([
+                while_(and(load4(var("base")), lit(0x8000_0000)), Stmt::Skip),
+                set("v", load4(add(var("base"), lit(4)))),
+                interact(&["r"], "MMIOREAD", [var("base")]),
+            ]),
+        );
+        use crate::ast::Stmt;
+        let s = render_function(&f);
+        assert!(s.contains("fn poll(base) -> (v) {"), "{s}");
+        assert!(s.contains("while ((load4(base) & 0x80000000)) {"), "{s}");
+        assert!(s.contains("v = load4((base + 4));"), "{s}");
+        assert!(s.contains("r = ext!MMIOREAD(base);"), "{s}");
+    }
+
+    #[test]
+    fn else_branch_only_when_nontrivial() {
+        use crate::ast::Stmt;
+        let with_else = if_(var("c"), set("x", lit(1)), set("x", lit(2)));
+        let without = if_(var("c"), set("x", lit(1)), Stmt::Skip);
+        let mut a = String::new();
+        render_stmt(&mut a, &with_else, 0);
+        assert!(a.contains("else"));
+        let mut b = String::new();
+        render_stmt(&mut b, &without, 0);
+        assert!(!b.contains("else"));
+    }
+
+    #[test]
+    fn small_literals_decimal_large_hex() {
+        assert_eq!(render_expr(&lit(42)), "42");
+        assert_eq!(render_expr(&lit(0x1002_4048)), "0x10024048");
+    }
+}

@@ -1,0 +1,221 @@
+//! A builder DSL for writing Bedrock2 programs inside Rust.
+//!
+//! The paper's authors write Bedrock2 programs inside Coq using its custom
+//! notation mechanism ("fairly natural-looking C-like code directly within
+//! Coq", §7.3.1); these free functions play the same role here. They are
+//! intentionally small and composable rather than macro-based, so that the
+//! driver and application code in the `lightbulb` crate reads close to the
+//! paper's listings.
+//!
+//! # Examples
+//!
+//! ```
+//! use bedrock2::dsl::*;
+//! // busy-wait: while ((load4(flag) & 0x80000000) != 0) {}
+//! let s = while_(
+//!     and(load4(lit(0x1002404C)), lit(0x8000_0000)),
+//!     block([]),
+//! );
+//! ```
+
+use crate::ast::{BinOp, Expr, Size, Stmt};
+
+/// Word literal.
+pub fn lit(n: u32) -> Expr {
+    Expr::Literal(n)
+}
+
+/// Variable reference.
+pub fn var(name: &str) -> Expr {
+    Expr::Var(name.to_string())
+}
+
+/// 1-byte load, zero-extended.
+pub fn load1(addr: Expr) -> Expr {
+    Expr::Load(Size::One, Box::new(addr))
+}
+
+/// 2-byte load, zero-extended.
+pub fn load2(addr: Expr) -> Expr {
+    Expr::Load(Size::Two, Box::new(addr))
+}
+
+/// 4-byte load.
+pub fn load4(addr: Expr) -> Expr {
+    Expr::Load(Size::Four, Box::new(addr))
+}
+
+fn op(o: BinOp, a: Expr, b: Expr) -> Expr {
+    Expr::Op(o, Box::new(a), Box::new(b))
+}
+
+/// Wrapping addition.
+pub fn add(a: Expr, b: Expr) -> Expr {
+    op(BinOp::Add, a, b)
+}
+
+/// Wrapping subtraction.
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    op(BinOp::Sub, a, b)
+}
+
+/// Wrapping multiplication.
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    op(BinOp::Mul, a, b)
+}
+
+/// Unsigned division.
+pub fn divu(a: Expr, b: Expr) -> Expr {
+    op(BinOp::DivU, a, b)
+}
+
+/// Unsigned remainder.
+pub fn remu(a: Expr, b: Expr) -> Expr {
+    op(BinOp::RemU, a, b)
+}
+
+/// Bitwise and.
+pub fn and(a: Expr, b: Expr) -> Expr {
+    op(BinOp::And, a, b)
+}
+
+/// Bitwise or.
+pub fn or(a: Expr, b: Expr) -> Expr {
+    op(BinOp::Or, a, b)
+}
+
+/// Bitwise xor.
+pub fn xor(a: Expr, b: Expr) -> Expr {
+    op(BinOp::Xor, a, b)
+}
+
+/// Logical shift right.
+pub fn sru(a: Expr, b: Expr) -> Expr {
+    op(BinOp::Sru, a, b)
+}
+
+/// Shift left.
+pub fn slu(a: Expr, b: Expr) -> Expr {
+    op(BinOp::Slu, a, b)
+}
+
+/// Arithmetic shift right.
+pub fn srs(a: Expr, b: Expr) -> Expr {
+    op(BinOp::Srs, a, b)
+}
+
+/// Signed less-than (0 or 1).
+pub fn lts(a: Expr, b: Expr) -> Expr {
+    op(BinOp::Lts, a, b)
+}
+
+/// Unsigned less-than (0 or 1).
+pub fn ltu(a: Expr, b: Expr) -> Expr {
+    op(BinOp::Ltu, a, b)
+}
+
+/// Equality (0 or 1).
+pub fn eq(a: Expr, b: Expr) -> Expr {
+    op(BinOp::Eq, a, b)
+}
+
+/// Inequality, desugared to `(a == b) == 0`.
+pub fn ne(a: Expr, b: Expr) -> Expr {
+    eq(eq(a, b), lit(0))
+}
+
+/// `x = e`.
+pub fn set(x: &str, e: Expr) -> Stmt {
+    Stmt::Set(x.to_string(), e)
+}
+
+/// 1-byte store.
+pub fn store1(addr: Expr, value: Expr) -> Stmt {
+    Stmt::Store(Size::One, addr, value)
+}
+
+/// 2-byte store.
+pub fn store2(addr: Expr, value: Expr) -> Stmt {
+    Stmt::Store(Size::Two, addr, value)
+}
+
+/// 4-byte store.
+pub fn store4(addr: Expr, value: Expr) -> Stmt {
+    Stmt::Store(Size::Four, addr, value)
+}
+
+/// `if (c) { t } else { e }`.
+pub fn if_(c: Expr, t: Stmt, e: Stmt) -> Stmt {
+    Stmt::If(c, Box::new(t), Box::new(e))
+}
+
+/// `if (c) { t }` with an empty else branch.
+pub fn when(c: Expr, t: Stmt) -> Stmt {
+    if_(c, t, Stmt::Skip)
+}
+
+/// `while (c) { body }`.
+pub fn while_(c: Expr, body: Stmt) -> Stmt {
+    Stmt::While(c, Box::new(body))
+}
+
+/// Sequential composition.
+pub fn block<I: IntoIterator<Item = Stmt>>(stmts: I) -> Stmt {
+    Stmt::Block(stmts.into_iter().collect())
+}
+
+/// `r1, …, rn = f(args…)` — call to a Bedrock2-defined function.
+pub fn call<A>(rets: &[&str], f: &str, args: A) -> Stmt
+where
+    A: IntoIterator<Item = Expr>,
+{
+    Stmt::Call(
+        rets.iter().map(|s| s.to_string()).collect(),
+        f.to_string(),
+        args.into_iter().collect(),
+    )
+}
+
+/// `r1, …, rn = ext!f(args…)` — external call (§6.1).
+pub fn interact<A>(rets: &[&str], action: &str, args: A) -> Stmt
+where
+    A: IntoIterator<Item = Expr>,
+{
+    Stmt::Interact(
+        rets.iter().map(|s| s.to_string()).collect(),
+        action.to_string(),
+        args.into_iter().collect(),
+    )
+}
+
+/// `x = stackalloc(nbytes); { body }`.
+pub fn stackalloc(x: &str, nbytes: u32, body: Stmt) -> Stmt {
+    Stmt::Stackalloc(x.to_string(), nbytes, Box::new(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Expr, Stmt};
+
+    #[test]
+    fn builders_build_expected_ast() {
+        assert_eq!(
+            add(lit(1), var("x")),
+            Expr::Op(
+                BinOp::Add,
+                Box::new(Expr::Literal(1)),
+                Box::new(Expr::Var("x".into()))
+            )
+        );
+        assert_eq!(set("y", lit(3)), Stmt::Set("y".into(), Expr::Literal(3)));
+        let w = when(var("c"), set("x", lit(1)));
+        assert!(matches!(w, Stmt::If(_, _, ref e) if **e == Stmt::Skip));
+    }
+
+    #[test]
+    fn ne_desugars_to_double_eq() {
+        let e = ne(var("a"), lit(0));
+        assert_eq!(e, eq(eq(var("a"), lit(0)), lit(0)));
+    }
+}

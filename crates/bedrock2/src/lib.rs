@@ -1,0 +1,58 @@
+//! The Bedrock2 source language (§5.2 of the paper): a minimal C-like
+//! language with word-sized variables, byte-addressed memory, and
+//! syntactically distinguished *external calls* whose behavior is a
+//! parameter of the semantics (§6.1).
+//!
+//! The language deliberately mirrors the paper's design choices:
+//!
+//! * every local variable and expression has the machine word type;
+//! * memory access is by explicit `load`/`store` with a byte count;
+//! * out-of-bounds (and, in this workspace, misaligned) memory access is
+//!   undefined behavior, surfaced as a typed error by the interpreter;
+//! * division by zero is *not* undefined behavior — the interpreter
+//!   returns the RISC-V result, which is the concrete instance of the
+//!   paper's axiomatically specified total division (footnote 3);
+//! * external calls append `(function, args, rets)` records to an
+//!   interaction trace that exists only in specifications and testing, not
+//!   at runtime;
+//! * there are no function pointers and no recursion (the compiler
+//!   statically tracks stack usage, §5.3); the interpreter rejects
+//!   recursion dynamically.
+//!
+//! Programs are built with the [`dsl`] module (Coq's notation mechanism
+//! played this role in the paper), interpreted by [`semantics`], printed by
+//! [`display`], parsed back from that concrete syntax by [`parse`], and
+//! exported to C by [`c_export`].
+//!
+//! # Examples
+//!
+//! ```
+//! use bedrock2::dsl::*;
+//! use bedrock2::{Program, Function};
+//! use bedrock2::semantics::{Interp, NoExt};
+//! use riscv_spec::Memory;
+//!
+//! // swap(a, b) { t = load4(a); store4(a, load4(b)); store4(b, t) }
+//! let swap = Function::new("swap", &["a", "b"], &[], block([
+//!     set("t", load4(var("a"))),
+//!     store4(var("a"), load4(var("b"))),
+//!     store4(var("b"), var("t")),
+//! ]));
+//! let prog = Program::from_functions([swap]);
+//! let mut interp = Interp::new(&prog, Memory::with_size(0x100), NoExt);
+//! interp.mem.store_u32(0, 1).unwrap();
+//! interp.mem.store_u32(4, 2).unwrap();
+//! interp.call("swap", &[0, 4]).unwrap();
+//! assert_eq!(interp.mem.load_u32(0).unwrap(), 2);
+//! assert_eq!(interp.mem.load_u32(4).unwrap(), 1);
+//! ```
+
+pub mod ast;
+pub mod c_export;
+pub mod display;
+pub mod dsl;
+pub mod parse;
+pub mod semantics;
+
+pub use ast::{BinOp, Expr, Function, Program, Size, Stmt};
+pub use semantics::{ExtHandler, Interp, IoEvent, NoExt, Ub};

@@ -1,0 +1,522 @@
+//! A parser for the concrete syntax [`crate::display`] prints.
+//!
+//! `parse_program ∘ render = id` (checked by property test against randomly
+//! generated programs), so the pretty-printed form is a faithful on-disk
+//! format for Bedrock2 sources — the role Coq `.v` files with notations
+//! played in the paper. The grammar is exactly what the printer emits:
+//! fully parenthesized binary expressions, one statement per line
+//! terminated by `;` or a block.
+
+use crate::ast::{BinOp, Expr, Function, Program, Size, Stmt};
+use std::fmt;
+
+/// A parse failure, with a byte offset into the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            at: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            let rest = &self.src[self.pos..];
+            if rest.starts_with("/*") {
+                match rest.find("*/") {
+                    Some(end) => self.pos += end + 2,
+                    None => {
+                        self.pos = self.src.len();
+                        return;
+                    }
+                }
+            } else if rest.starts_with("//") {
+                match rest.find('\n') {
+                    Some(end) => self.pos += end + 1,
+                    None => self.pos = self.src.len(),
+                }
+            } else {
+                match rest.chars().next() {
+                    Some(c) if c.is_whitespace() => self.pos += c.len_utf8(),
+                    _ => return,
+                }
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), ParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{tok}'"))
+        }
+    }
+
+    /// Keyword: like `eat` but must not be followed by an identifier char.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if let Some(after) = rest.strip_prefix(kw) {
+            if !after
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_alphanumeric() || *c == '_' || *c == '$'))
+            .map_or(rest.len(), |(i, _)| i);
+        let first = rest.chars().next();
+        if end == 0 || first.is_some_and(|c| c.is_ascii_digit()) {
+            return self.err("expected identifier");
+        }
+        let name = rest[..end].to_string();
+        self.pos += end;
+        Ok(name)
+    }
+
+    fn number(&mut self) -> Result<u32, ParseError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let (radix, body_start) = if rest.starts_with("0x") {
+            (16, 2)
+        } else {
+            (10, 0)
+        };
+        let body = &rest[body_start..];
+        let end = body
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_hexdigit())
+            .map_or(body.len(), |(i, _)| i);
+        if end == 0 {
+            return self.err("expected number");
+        }
+        match u32::from_str_radix(&body[..end], radix) {
+            Ok(v) => {
+                self.pos += body_start + end;
+                Ok(v)
+            }
+            Err(_) => self.err("number out of range"),
+        }
+    }
+
+    fn binop(&mut self) -> Result<BinOp, ParseError> {
+        // Longest symbols first (">>s" before ">>", "<s" before "<", "*h"
+        // before "*", "==" before... none conflict with "=").
+        const TABLE: &[(&str, BinOp)] = &[
+            (">>s", BinOp::Srs),
+            (">>", BinOp::Sru),
+            ("<<", BinOp::Slu),
+            ("<s", BinOp::Lts),
+            ("<", BinOp::Ltu),
+            ("==", BinOp::Eq),
+            ("*h", BinOp::MulHuu),
+            ("*", BinOp::Mul),
+            ("+", BinOp::Add),
+            ("-", BinOp::Sub),
+            ("/", BinOp::DivU),
+            ("%", BinOp::RemU),
+            ("&", BinOp::And),
+            ("|", BinOp::Or),
+            ("^", BinOp::Xor),
+        ];
+        for (sym, op) in TABLE {
+            if self.eat(sym) {
+                return Ok(*op);
+            }
+        }
+        self.err("expected binary operator")
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some('(') => {
+                self.expect("(")?;
+                let a = self.expr()?;
+                let op = self.binop()?;
+                let b = self.expr()?;
+                self.expect(")")?;
+                Ok(Expr::Op(op, Box::new(a), Box::new(b)))
+            }
+            Some(c) if c.is_ascii_digit() => Ok(Expr::Literal(self.number()?)),
+            _ => {
+                let name = self.ident()?;
+                match name.as_str() {
+                    "load1" | "load2" | "load4" => {
+                        let size = match name.as_str() {
+                            "load1" => Size::One,
+                            "load2" => Size::Two,
+                            _ => Size::Four,
+                        };
+                        self.expect("(")?;
+                        let a = self.expr()?;
+                        self.expect(")")?;
+                        Ok(Expr::Load(size, Box::new(a)))
+                    }
+                    _ => Ok(Expr::Var(name)),
+                }
+            }
+        }
+    }
+
+    fn block_stmts(&mut self) -> Result<Stmt, ParseError> {
+        self.expect("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat("}") {
+            if self.pos >= self.src.len() {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(match stmts.len() {
+            0 => Stmt::Block(vec![]),
+            _ => Stmt::Block(stmts),
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.skip_ws();
+        // `/*skip*/;` was consumed as a comment; a bare `;` is a skip.
+        if self.eat(";") {
+            return Ok(Stmt::Skip);
+        }
+        if self.eat_kw("if") {
+            self.expect("(")?;
+            let c = self.expr()?;
+            self.expect(")")?;
+            let t = self.block_stmts()?;
+            let e = if self.eat_kw("else") {
+                self.block_stmts()?
+            } else {
+                Stmt::Skip
+            };
+            return Ok(Stmt::If(c, Box::new(t), Box::new(e)));
+        }
+        if self.eat_kw("while") {
+            self.expect("(")?;
+            let c = self.expr()?;
+            self.expect(")")?;
+            let b = self.block_stmts()?;
+            return Ok(Stmt::While(c, Box::new(b)));
+        }
+        for (kw, size) in [
+            ("store1", Size::One),
+            ("store2", Size::Two),
+            ("store4", Size::Four),
+        ] {
+            if self.eat_kw(kw) {
+                self.expect("(")?;
+                let a = self.expr()?;
+                self.expect(",")?;
+                let v = self.expr()?;
+                self.expect(")")?;
+                self.expect(";")?;
+                return Ok(Stmt::Store(size, a, v));
+            }
+        }
+        if self.eat("ext!") {
+            // No-result external call: `ext!ACTION(args);`
+            let action = self.ident()?;
+            let args = self.call_args()?;
+            self.expect(";")?;
+            return Ok(Stmt::Interact(vec![], action, args));
+        }
+        // Otherwise: a name list followed by `=` (set / call / interact /
+        // stackalloc) or a no-result call `f(args);`.
+        let first = self.ident()?;
+        if self.peek() == Some('(') {
+            let args = self.call_args()?;
+            self.expect(";")?;
+            return Ok(Stmt::Call(vec![], first, args));
+        }
+        let mut names = vec![first];
+        while self.eat(",") {
+            names.push(self.ident()?);
+        }
+        self.expect("=")?;
+        if self.eat("ext!") {
+            let action = self.ident()?;
+            let args = self.call_args()?;
+            self.expect(";")?;
+            return Ok(Stmt::Interact(names, action, args));
+        }
+        if self.eat_kw("stackalloc") {
+            self.expect("(")?;
+            let n = self.number()?;
+            self.expect(")")?;
+            self.expect(";")?;
+            let body = self.block_stmts()?;
+            if names.len() != 1 {
+                return self.err("stackalloc binds exactly one name");
+            }
+            return Ok(Stmt::Stackalloc(names.remove(0), n, Box::new(body)));
+        }
+        // Could be `x = f(args);` (call) or `x = expr;` (set). Disambiguate
+        // by trying an identifier followed by '('.
+        let save = self.pos;
+        if let Ok(callee) = self.ident() {
+            if self.peek() == Some('(') && !callee.starts_with("load") {
+                let args = self.call_args()?;
+                self.expect(";")?;
+                return Ok(Stmt::Call(names, callee, args));
+            }
+        }
+        self.pos = save;
+        if names.len() != 1 {
+            return self.err("tuple assignment requires a call");
+        }
+        let e = self.expr()?;
+        self.expect(";")?;
+        Ok(Stmt::Set(names.remove(0), e))
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect("(")?;
+        let mut args = Vec::new();
+        if !self.eat(")") {
+            loop {
+                args.push(self.expr()?);
+                if self.eat(")") {
+                    break;
+                }
+                self.expect(",")?;
+            }
+        }
+        Ok(args)
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        self.expect("fn")?;
+        let name = self.ident()?;
+        self.expect("(")?;
+        let mut params = Vec::new();
+        if !self.eat(")") {
+            loop {
+                params.push(self.ident()?);
+                if self.eat(")") {
+                    break;
+                }
+                self.expect(",")?;
+            }
+        }
+        self.expect("->")?;
+        self.expect("(")?;
+        let mut rets = Vec::new();
+        if !self.eat(")") {
+            loop {
+                rets.push(self.ident()?);
+                if self.eat(")") {
+                    break;
+                }
+                self.expect(",")?;
+            }
+        }
+        let body = self.block_stmts()?;
+        Ok(Function {
+            name,
+            params,
+            rets,
+            body,
+        })
+    }
+}
+
+/// Parses a whole program (a sequence of `fn` definitions).
+///
+/// # Errors
+///
+/// The first [`ParseError`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// use bedrock2::parse::parse_program;
+/// let p = parse_program("fn inc(x) -> (y) { y = (x + 1); }").unwrap();
+/// assert!(p.function("inc").is_some());
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut p = Parser { src, pos: 0 };
+    let mut prog = Program::new();
+    loop {
+        p.skip_ws();
+        if p.pos >= src.len() {
+            break;
+        }
+        prog.add(p.function()?);
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::display::render_function;
+    use crate::dsl::*;
+
+    fn roundtrip(f: Function) {
+        let text = render_function(&f);
+        let parsed = parse_program(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        let got = parsed.function(&f.name).expect("function present");
+        assert_eq!(
+            wrap(normalize(&got.body)),
+            wrap(normalize(&f.body)),
+            "{text}"
+        );
+        assert_eq!(got.params, f.params);
+        assert_eq!(got.rets, f.rets);
+    }
+
+    /// Blocks print flat, so nested Block structure is not preserved;
+    /// normalize by flattening before comparison.
+    fn normalize(s: &Stmt) -> Stmt {
+        match s {
+            Stmt::Block(ss) => {
+                let mut out = Vec::new();
+                for s in ss {
+                    match normalize(s) {
+                        Stmt::Block(inner) => out.extend(inner),
+                        other => out.push(other),
+                    }
+                }
+                Stmt::Block(out)
+            }
+            Stmt::If(c, t, e) => Stmt::If(
+                c.clone(),
+                Box::new(wrap(normalize(t))),
+                Box::new(wrap(normalize(e))),
+            ),
+            Stmt::While(c, b) => Stmt::While(c.clone(), Box::new(wrap(normalize(b)))),
+            Stmt::Stackalloc(x, n, b) => {
+                Stmt::Stackalloc(x.clone(), *n, Box::new(wrap(normalize(b))))
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Single statements parse back as 1-element blocks; normalize both
+    /// directions into Block form.
+    fn wrap(s: Stmt) -> Stmt {
+        match s {
+            Stmt::Block(v) => Stmt::Block(v),
+            Stmt::Skip => Stmt::Block(vec![]),
+            other => Stmt::Block(vec![other]),
+        }
+    }
+
+    #[test]
+    fn expressions_roundtrip() {
+        roundtrip(Function::new(
+            "f",
+            &["a", "b"],
+            &["r"],
+            set(
+                "r",
+                add(
+                    mul(var("a"), lit(0xDEAD)),
+                    srs(load2(add(var("b"), lit(2))), lts(var("a"), var("b"))),
+                ),
+            ),
+        ));
+    }
+
+    #[test]
+    fn statements_roundtrip() {
+        roundtrip(Function::new(
+            "g",
+            &["n"],
+            &["s"],
+            block([
+                set("s", lit(0)),
+                while_(
+                    var("n"),
+                    block([
+                        set("s", add(var("s"), var("n"))),
+                        set("n", sub(var("n"), lit(1))),
+                    ]),
+                ),
+                if_(
+                    eq(var("s"), lit(0)),
+                    store4(lit(0x100), var("s")),
+                    store1(lit(0x104), lit(7)),
+                ),
+                stackalloc("buf", 16, store4(var("buf"), var("s"))),
+            ]),
+        ));
+    }
+
+    #[test]
+    fn calls_and_interacts_roundtrip() {
+        roundtrip(Function::new(
+            "h",
+            &[],
+            &["x"],
+            block([
+                call(&["x", "y"], "divmod", [lit(47), lit(10)]),
+                call(&[], "effect", []),
+                interact(&["v"], "MMIOREAD", [lit(0x1002_404C)]),
+                interact(&[], "MMIOWRITE", [lit(0x1001_200C), var("v")]),
+            ]),
+        ));
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let e = parse_program("fn f( -> () {}").unwrap_err();
+        assert!(e.at > 0);
+        assert!(parse_program("fn f() -> () { x = ; }").is_err());
+        assert!(parse_program("fn f() -> () { while (x) }").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse_program("// leading\nfn f() -> (r) { /* inline */ r = 1; // trailing\n }")
+            .unwrap();
+        assert!(p.function("f").is_some());
+    }
+}

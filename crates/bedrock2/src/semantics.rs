@@ -1,0 +1,703 @@
+//! The Bedrock2 interpreter: an executable counterpart of the paper's
+//! source-language semantics.
+//!
+//! The paper gives Bedrock2 a weakest-precondition/CPS semantics (§4); for a
+//! *library*, the corresponding executable artifact is a definitional
+//! interpreter that (a) makes every undefined behavior an explicit [`Ub`]
+//! value instead of silently continuing, (b) records external interactions
+//! in a trace, and (c) is parameterized over the behavior of external calls
+//! via [`ExtHandler`] — the `vcextern` parameter of §6.1. The `proglogic`
+//! crate provides the symbolic/WP view over the same AST.
+//!
+//! Termination is modeled with *fuel*: the paper verifies total correctness
+//! (nontermination is identified with UB, §5.2), and here a program that
+//! exhausts its fuel reports [`Ub::OutOfFuel`], which differential tests
+//! treat as "this run proves nothing" rather than as a behavioral result.
+
+use crate::ast::{Expr, Function, Program, Size, Stmt};
+use riscv_spec::Memory;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One record of the interaction trace: the `(function, args, rets)` triple
+/// appended by an external call (§6.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IoEvent {
+    /// The external procedure's name (e.g. `"MMIOREAD"`).
+    pub action: String,
+    /// Evaluated argument values.
+    pub args: Vec<u32>,
+    /// Values returned by the environment.
+    pub rets: Vec<u32>,
+}
+
+/// Undefined behavior (and fuel exhaustion), made explicit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Ub {
+    /// A variable was read before being assigned.
+    UnboundVariable(String),
+    /// A load touched memory outside the program's address space.
+    LoadOutOfBounds {
+        /// Faulting address.
+        addr: u32,
+        /// Access width.
+        size: Size,
+    },
+    /// A store touched memory outside the program's address space.
+    StoreOutOfBounds {
+        /// Faulting address.
+        addr: u32,
+        /// Access width.
+        size: Size,
+    },
+    /// A load or store was not aligned to its width (a strengthening of the
+    /// paper's memory model so the compiled code can use aligned RISC-V
+    /// accesses; see DESIGN.md).
+    Misaligned {
+        /// Faulting address.
+        addr: u32,
+        /// Access width.
+        size: Size,
+    },
+    /// A call to a function that is not defined.
+    UnknownFunction(String),
+    /// A call whose argument or result count does not match the callee.
+    ArityMismatch {
+        /// The callee.
+        function: String,
+    },
+    /// A function body finished without assigning a declared return
+    /// variable.
+    MissingReturn {
+        /// The function.
+        function: String,
+        /// The unassigned return variable.
+        var: String,
+    },
+    /// The external environment rejected a call (precondition violation —
+    /// e.g. an `MMIOWRITE` outside the allowed address range).
+    ExternalCallRefused {
+        /// The external procedure.
+        action: String,
+        /// Why it was refused.
+        reason: String,
+    },
+    /// A (mutually) recursive call, which Bedrock2 forbids (§5.2).
+    Recursion(String),
+    /// `stackalloc` exceeded the configured stack region.
+    StackOverflow,
+    /// The fuel budget was exhausted (not UB per se: the run is
+    /// inconclusive).
+    OutOfFuel,
+}
+
+impl fmt::Display for Ub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Ub::*;
+        match self {
+            UnboundVariable(x) => write!(f, "read of unbound variable '{x}'"),
+            LoadOutOfBounds { addr, size } => {
+                write!(
+                    f,
+                    "{}-byte load out of bounds at 0x{addr:08x}",
+                    size.bytes()
+                )
+            }
+            StoreOutOfBounds { addr, size } => {
+                write!(
+                    f,
+                    "{}-byte store out of bounds at 0x{addr:08x}",
+                    size.bytes()
+                )
+            }
+            Misaligned { addr, size } => {
+                write!(f, "misaligned {}-byte access at 0x{addr:08x}", size.bytes())
+            }
+            UnknownFunction(name) => write!(f, "call to unknown function '{name}'"),
+            ArityMismatch { function } => write!(f, "arity mismatch calling '{function}'"),
+            MissingReturn { function, var } => {
+                write!(f, "'{function}' returned without assigning '{var}'")
+            }
+            ExternalCallRefused { action, reason } => {
+                write!(f, "external call '{action}' refused: {reason}")
+            }
+            Recursion(name) => write!(f, "recursive call to '{name}'"),
+            StackOverflow => write!(f, "stackalloc exceeded the stack region"),
+            OutOfFuel => write!(f, "out of fuel"),
+        }
+    }
+}
+
+impl std::error::Error for Ub {}
+
+/// The external-call parameter of the semantics (§6.1).
+///
+/// An implementation decides, per call, whether the call is allowed and what
+/// it returns; it may also mutate memory (the paper supports this for
+/// DMA-style devices but the lightbulb does not use it).
+pub trait ExtHandler {
+    /// Services one external call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the call violates the
+    /// environment's precondition; the interpreter maps it to
+    /// [`Ub::ExternalCallRefused`].
+    fn call(&mut self, action: &str, args: &[u32], mem: &mut Memory) -> Result<Vec<u32>, String>;
+}
+
+/// An environment with no external procedures: every `Interact` is refused.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoExt;
+
+impl ExtHandler for NoExt {
+    fn call(&mut self, action: &str, _args: &[u32], _mem: &mut Memory) -> Result<Vec<u32>, String> {
+        Err(format!(
+            "no external procedures defined (called '{action}')"
+        ))
+    }
+}
+
+/// Forwarding impl so `&mut H` can serve as a handler.
+impl<H: ExtHandler + ?Sized> ExtHandler for &mut H {
+    fn call(&mut self, action: &str, args: &[u32], mem: &mut Memory) -> Result<Vec<u32>, String> {
+        (**self).call(action, args, mem)
+    }
+}
+
+/// Default fuel: enough for every workload in this workspace while still
+/// terminating on accidental infinite loops.
+pub const DEFAULT_FUEL: u64 = 50_000_000;
+
+/// The interpreter state: program, memory, trace, external environment.
+#[derive(Debug)]
+pub struct Interp<'p, E> {
+    prog: &'p Program,
+    /// Byte-addressed memory shared with the rest of the system model.
+    pub mem: Memory,
+    /// The interaction trace, oldest event first.
+    pub trace: Vec<IoEvent>,
+    /// The external environment.
+    pub ext: E,
+    /// Remaining fuel; each statement and loop iteration consumes one unit.
+    pub fuel: u64,
+    stack_ptr: u32,
+    stack_limit: u32,
+    call_stack: Vec<String>,
+}
+
+impl<'p, E: ExtHandler> Interp<'p, E> {
+    /// Creates an interpreter over `prog` with the given memory and
+    /// external environment. The `stackalloc` region is the top half of
+    /// memory (growing downward); use [`Interp::with_stack_region`] to
+    /// change it.
+    pub fn new(prog: &'p Program, mem: Memory, ext: E) -> Interp<'p, E> {
+        let top = mem.size();
+        let limit = top / 2;
+        Interp {
+            prog,
+            mem,
+            trace: Vec::new(),
+            ext,
+            fuel: DEFAULT_FUEL,
+            stack_ptr: top,
+            stack_limit: limit,
+            call_stack: Vec::new(),
+        }
+    }
+
+    /// Reconfigures the `stackalloc` region to `[limit, top)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit > top` or `top` exceeds the memory size.
+    pub fn with_stack_region(mut self, limit: u32, top: u32) -> Interp<'p, E> {
+        assert!(limit <= top && top <= self.mem.size(), "bad stack region");
+        self.stack_ptr = top;
+        self.stack_limit = limit;
+        self
+    }
+
+    /// Sets the fuel budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Interp<'p, E> {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Calls a function by name with the given arguments and returns its
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Ub`] encountered during execution, including
+    /// [`Ub::OutOfFuel`].
+    pub fn call(&mut self, name: &str, args: &[u32]) -> Result<Vec<u32>, Ub> {
+        let f = self
+            .prog
+            .function(name)
+            .ok_or_else(|| Ub::UnknownFunction(name.to_string()))?;
+        if f.params.len() != args.len() {
+            return Err(Ub::ArityMismatch {
+                function: name.to_string(),
+            });
+        }
+        if self.call_stack.iter().any(|c| c == name) {
+            return Err(Ub::Recursion(name.to_string()));
+        }
+        self.call_stack.push(name.to_string());
+        let result = self.call_body(f, args);
+        self.call_stack.pop();
+        result
+    }
+
+    fn call_body(&mut self, f: &Function, args: &[u32]) -> Result<Vec<u32>, Ub> {
+        let mut locals: HashMap<String, u32> =
+            f.params.iter().cloned().zip(args.iter().copied()).collect();
+        self.exec(&f.body, &mut locals)?;
+        f.rets
+            .iter()
+            .map(|r| {
+                locals.get(r).copied().ok_or_else(|| Ub::MissingReturn {
+                    function: f.name.clone(),
+                    var: r.clone(),
+                })
+            })
+            .collect()
+    }
+
+    fn burn(&mut self) -> Result<(), Ub> {
+        if self.fuel == 0 {
+            return Err(Ub::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn exec(&mut self, s: &Stmt, locals: &mut HashMap<String, u32>) -> Result<(), Ub> {
+        self.burn()?;
+        match s {
+            Stmt::Skip => Ok(()),
+            Stmt::Set(x, e) => {
+                let v = self.eval(e, locals)?;
+                locals.insert(x.clone(), v);
+                Ok(())
+            }
+            Stmt::Store(size, ea, ev) => {
+                let addr = self.eval(ea, locals)?;
+                let v = self.eval(ev, locals)?;
+                self.store(*size, addr, v)
+            }
+            Stmt::If(c, t, e) => {
+                if self.eval(c, locals)? != 0 {
+                    self.exec(t, locals)
+                } else {
+                    self.exec(e, locals)
+                }
+            }
+            Stmt::While(c, body) => {
+                while self.eval(c, locals)? != 0 {
+                    self.burn()?;
+                    self.exec(body, locals)?;
+                }
+                Ok(())
+            }
+            Stmt::Block(ss) => {
+                for s in ss {
+                    self.exec(s, locals)?;
+                }
+                Ok(())
+            }
+            Stmt::Call(rets, fname, argexprs) => {
+                let args: Vec<u32> = argexprs
+                    .iter()
+                    .map(|e| self.eval(e, locals))
+                    .collect::<Result<_, _>>()?;
+                let f = self
+                    .prog
+                    .function(fname)
+                    .ok_or_else(|| Ub::UnknownFunction(fname.clone()))?;
+                if f.rets.len() != rets.len() {
+                    return Err(Ub::ArityMismatch {
+                        function: fname.clone(),
+                    });
+                }
+                let vals = self.call(fname, &args)?;
+                for (r, v) in rets.iter().zip(vals) {
+                    locals.insert(r.clone(), v);
+                }
+                Ok(())
+            }
+            Stmt::Interact(rets, action, argexprs) => {
+                let args: Vec<u32> = argexprs
+                    .iter()
+                    .map(|e| self.eval(e, locals))
+                    .collect::<Result<_, _>>()?;
+                let vals = self
+                    .ext
+                    .call(action, &args, &mut self.mem)
+                    .map_err(|reason| Ub::ExternalCallRefused {
+                        action: action.clone(),
+                        reason,
+                    })?;
+                if vals.len() != rets.len() {
+                    return Err(Ub::ExternalCallRefused {
+                        action: action.clone(),
+                        reason: format!("returned {} values, expected {}", vals.len(), rets.len()),
+                    });
+                }
+                self.trace.push(IoEvent {
+                    action: action.clone(),
+                    args,
+                    rets: vals.clone(),
+                });
+                for (r, v) in rets.iter().zip(vals) {
+                    locals.insert(r.clone(), v);
+                }
+                Ok(())
+            }
+            Stmt::Stackalloc(x, nbytes, body) => {
+                // Round the allocation to a word multiple and carve it from
+                // the downward-growing stack region. The concrete address is
+                // this interpreter's *choice* — the semantics only promise
+                // some word-aligned address (internal nondeterminism, §5.3).
+                let n = nbytes.div_ceil(4) * 4;
+                let new_sp = self.stack_ptr.checked_sub(n).ok_or(Ub::StackOverflow)?;
+                if new_sp < self.stack_limit {
+                    return Err(Ub::StackOverflow);
+                }
+                let saved = self.stack_ptr;
+                self.stack_ptr = new_sp;
+                locals.insert(x.clone(), new_sp);
+                let result = self.exec(body, locals);
+                self.stack_ptr = saved;
+                result
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, locals: &HashMap<String, u32>) -> Result<u32, Ub> {
+        match e {
+            Expr::Literal(n) => Ok(*n),
+            Expr::Var(x) => locals
+                .get(x)
+                .copied()
+                .ok_or_else(|| Ub::UnboundVariable(x.clone())),
+            Expr::Load(size, ea) => {
+                let addr = self.eval(ea, locals)?;
+                self.load(*size, addr)
+            }
+            Expr::Op(op, a, b) => {
+                let va = self.eval(a, locals)?;
+                let vb = self.eval(b, locals)?;
+                Ok(op.eval(va, vb))
+            }
+        }
+    }
+
+    fn load(&mut self, size: Size, addr: u32) -> Result<u32, Ub> {
+        if !riscv_spec::word::is_aligned(addr, size.bytes()) {
+            return Err(Ub::Misaligned { addr, size });
+        }
+        let out = match size {
+            Size::One => self.mem.load_u8(addr).map(|v| v as u32),
+            Size::Two => self.mem.load_u16(addr).map(|v| v as u32),
+            Size::Four => self.mem.load_u32(addr),
+        };
+        out.map_err(|_| Ub::LoadOutOfBounds { addr, size })
+    }
+
+    fn store(&mut self, size: Size, addr: u32, v: u32) -> Result<(), Ub> {
+        if !riscv_spec::word::is_aligned(addr, size.bytes()) {
+            return Err(Ub::Misaligned { addr, size });
+        }
+        let out = match size {
+            Size::One => self.mem.store_u8(addr, v as u8),
+            Size::Two => self.mem.store_u16(addr, v as u16),
+            Size::Four => self.mem.store_u32(addr, v),
+        };
+        out.map_err(|_| Ub::StoreOutOfBounds { addr, size })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Function, Program, Stmt};
+    use crate::dsl::*;
+
+    fn run_main(prog: &Program, args: &[u32]) -> Result<Vec<u32>, Ub> {
+        let mut i = Interp::new(prog, Memory::with_size(0x1000), NoExt);
+        i.call("main", args)
+    }
+
+    #[test]
+    fn arithmetic_and_returns() {
+        let main = Function::new(
+            "main",
+            &["a", "b"],
+            &["s", "d"],
+            block([
+                set("s", add(var("a"), var("b"))),
+                set("d", sub(var("a"), var("b"))),
+            ]),
+        );
+        let p = Program::from_functions([main]);
+        assert_eq!(run_main(&p, &[10, 4]).unwrap(), vec![14, 6]);
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        // s = 0; while (n) { s += n; n -= 1 } ; return s
+        let main = Function::new(
+            "main",
+            &["n"],
+            &["s"],
+            block([
+                set("s", lit(0)),
+                while_(
+                    var("n"),
+                    block([
+                        set("s", add(var("s"), var("n"))),
+                        set("n", sub(var("n"), lit(1))),
+                    ]),
+                ),
+            ]),
+        );
+        let p = Program::from_functions([main]);
+        assert_eq!(run_main(&p, &[10]).unwrap(), vec![55]);
+    }
+
+    #[test]
+    fn nested_calls_and_tuple_returns() {
+        let divmod = Function::new(
+            "divmod",
+            &["a", "b"],
+            &["q", "r"],
+            block([
+                set("q", divu(var("a"), var("b"))),
+                set("r", remu(var("a"), var("b"))),
+            ]),
+        );
+        let main = Function::new(
+            "main",
+            &["x"],
+            &["out"],
+            block([
+                call(&["q", "r"], "divmod", [var("x"), lit(10)]),
+                set("out", add(mul(var("q"), lit(100)), var("r"))),
+            ]),
+        );
+        let p = Program::from_functions([divmod, main]);
+        assert_eq!(run_main(&p, &[47]).unwrap(), vec![407]);
+    }
+
+    #[test]
+    fn unbound_variable_is_ub() {
+        let main = Function::new("main", &[], &["r"], set("r", var("ghost")));
+        let p = Program::from_functions([main]);
+        assert_eq!(run_main(&p, &[]), Err(Ub::UnboundVariable("ghost".into())));
+    }
+
+    #[test]
+    fn oob_and_misaligned_access_is_ub() {
+        let oob = Function::new("main", &[], &[], store4(lit(0xFFFF_0000), lit(1)));
+        let p = Program::from_functions([oob]);
+        assert!(matches!(
+            run_main(&p, &[]),
+            Err(Ub::StoreOutOfBounds { .. })
+        ));
+
+        let mis = Function::new("main", &[], &["r"], set("r", load4(lit(2))));
+        let p = Program::from_functions([mis]);
+        assert!(matches!(
+            run_main(&p, &[]),
+            Err(Ub::Misaligned { addr: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_is_defined() {
+        let main = Function::new(
+            "main",
+            &[],
+            &["q", "r"],
+            block([
+                set("q", divu(lit(7), lit(0))),
+                set("r", remu(lit(7), lit(0))),
+            ]),
+        );
+        let p = Program::from_functions([main]);
+        assert_eq!(run_main(&p, &[]).unwrap(), vec![u32::MAX, 7]);
+    }
+
+    #[test]
+    fn infinite_loop_runs_out_of_fuel() {
+        let main = Function::new("main", &[], &[], while_(lit(1), Stmt::Skip));
+        let p = Program::from_functions([main]);
+        let mut i = Interp::new(&p, Memory::with_size(64), NoExt).with_fuel(1000);
+        assert_eq!(i.call("main", &[]), Err(Ub::OutOfFuel));
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let main = Function::new("main", &[], &[], call(&[], "main", []));
+        let p = Program::from_functions([main]);
+        assert_eq!(run_main(&p, &[]), Err(Ub::Recursion("main".into())));
+    }
+
+    #[test]
+    fn external_calls_append_to_trace() {
+        struct Counter(u32);
+        impl ExtHandler for Counter {
+            fn call(
+                &mut self,
+                action: &str,
+                args: &[u32],
+                _mem: &mut Memory,
+            ) -> Result<Vec<u32>, String> {
+                match action {
+                    "next" => {
+                        self.0 += args[0];
+                        Ok(vec![self.0])
+                    }
+                    _ => Err("unknown".into()),
+                }
+            }
+        }
+        let main = Function::new(
+            "main",
+            &[],
+            &["a", "b"],
+            block([
+                interact(&["a"], "next", [lit(3)]),
+                interact(&["b"], "next", [lit(4)]),
+            ]),
+        );
+        let p = Program::from_functions([main]);
+        let mut i = Interp::new(&p, Memory::with_size(64), Counter(0));
+        assert_eq!(i.call("main", &[]).unwrap(), vec![3, 7]);
+        assert_eq!(
+            i.trace,
+            vec![
+                IoEvent {
+                    action: "next".into(),
+                    args: vec![3],
+                    rets: vec![3]
+                },
+                IoEvent {
+                    action: "next".into(),
+                    args: vec![4],
+                    rets: vec![7]
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn refused_external_call_is_ub() {
+        let main = Function::new("main", &[], &[], interact(&[], "nope", []));
+        let p = Program::from_functions([main]);
+        assert!(matches!(
+            run_main(&p, &[]),
+            Err(Ub::ExternalCallRefused { .. })
+        ));
+    }
+
+    #[test]
+    fn external_calls_may_mutate_memory_dma_style() {
+        // §6.2 of the paper: "the same interface is also powerful enough to
+        // model direct memory access (DMA), by recording memory-ownership
+        // changes in the I/O trace" — the semantics allows external calls
+        // to write memory, even though the lightbulb (and our compiler,
+        // like the paper's) does not use it.
+        struct DmaEngine;
+        impl ExtHandler for DmaEngine {
+            fn call(
+                &mut self,
+                action: &str,
+                args: &[u32],
+                mem: &mut Memory,
+            ) -> Result<Vec<u32>, String> {
+                match (action, args) {
+                    ("DMA_FILL", [dst, len, byte]) => {
+                        for i in 0..*len {
+                            mem.store_u8(dst + i, *byte as u8)
+                                .map_err(|e| e.to_string())?;
+                        }
+                        Ok(vec![])
+                    }
+                    _ => Err("unknown".into()),
+                }
+            }
+        }
+        let main = Function::new(
+            "main",
+            &[],
+            &["sum"],
+            block([
+                interact(&[], "DMA_FILL", [lit(0x20), lit(4), lit(7)]),
+                set(
+                    "sum",
+                    add(
+                        add(load1(lit(0x20)), load1(lit(0x21))),
+                        add(load1(lit(0x22)), load1(lit(0x23))),
+                    ),
+                ),
+            ]),
+        );
+        let p = Program::from_functions([main]);
+        let mut i = Interp::new(&p, Memory::with_size(0x100), DmaEngine);
+        assert_eq!(i.call("main", &[]).unwrap(), vec![28]);
+        assert_eq!(i.trace.len(), 1, "the DMA interaction is in the trace");
+    }
+
+    #[test]
+    fn stackalloc_provides_usable_aligned_memory() {
+        let main = Function::new(
+            "main",
+            &[],
+            &["v", "aligned"],
+            stackalloc(
+                "buf",
+                10, // rounds up to 12
+                block([
+                    store4(var("buf"), lit(0xCAFE)),
+                    store4(add(var("buf"), lit(8)), lit(1)),
+                    set("v", load4(var("buf"))),
+                    set("aligned", eq(remu(var("buf"), lit(4)), lit(0))),
+                ]),
+            ),
+        );
+        let p = Program::from_functions([main]);
+        assert_eq!(run_main(&p, &[]).unwrap(), vec![0xCAFE, 1]);
+    }
+
+    #[test]
+    fn stackalloc_overflow_is_ub() {
+        let main = Function::new(
+            "main",
+            &[],
+            &[],
+            stackalloc("b", 0x10_0000, Stmt::Skip), // bigger than memory
+        );
+        let p = Program::from_functions([main]);
+        assert_eq!(run_main(&p, &[]), Err(Ub::StackOverflow));
+    }
+
+    #[test]
+    fn stackalloc_nests_and_frees() {
+        // Two sequential allocations reuse the same addresses.
+        let main = Function::new(
+            "main",
+            &[],
+            &["same"],
+            block([
+                stackalloc("a", 8, set("x", var("a"))),
+                stackalloc("b", 8, set("y", var("b"))),
+                set("same", eq(var("x"), var("y"))),
+            ]),
+        );
+        let p = Program::from_functions([main]);
+        assert_eq!(run_main(&p, &[]).unwrap(), vec![1]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Differential test of the C export (the "Exported C code" arrow of the
+//! paper's Figure 1): export a Bedrock2 program as host-testable C,
+//! compile it with the system C compiler, run it with recording
+//! `MMIOREAD`/`MMIOWRITE` stubs, and compare the observation trace with
+//! the Bedrock2 interpreter's.
+//!
+//! Skipped silently when no `cc` is on PATH (the export itself is still
+//! unit-tested in-crate).
+
+use bedrock2::ast::{Function, Program};
+use bedrock2::dsl::*;
+use bedrock2::semantics::{ExtHandler, Interp};
+use riscv_spec::Memory;
+use std::io::Write as _;
+use std::process::Command;
+
+/// A recording environment identical in behavior to the C harness below.
+#[derive(Default)]
+struct Recorder {
+    counter: u32,
+    log: Vec<String>,
+}
+
+impl ExtHandler for Recorder {
+    fn call(&mut self, action: &str, args: &[u32], _mem: &mut Memory) -> Result<Vec<u32>, String> {
+        match (action, args) {
+            ("MMIOREAD", [addr]) => {
+                self.counter = self.counter.wrapping_mul(1103515245).wrapping_add(12345);
+                let v = self.counter ^ addr;
+                self.log.push(format!("R {addr:08x} {v:08x}"));
+                Ok(vec![v])
+            }
+            ("MMIOWRITE", [addr, value]) => {
+                self.log.push(format!("W {addr:08x} {value:08x}"));
+                Ok(vec![])
+            }
+            _ => Err("unknown".into()),
+        }
+    }
+}
+
+const C_HARNESS: &str = r#"
+#include <stdio.h>
+static uint32_t _counter = 0;
+void MMIOREAD(uint32_t a0, uint32_t *r0) {
+  _counter = _counter * 1103515245u + 12345u;
+  *r0 = _counter ^ a0;
+  printf("R %08x %08x\n", a0, *r0);
+}
+void MMIOWRITE(uint32_t a0, uint32_t a1) {
+  printf("W %08x %08x\n", a0, a1);
+}
+int main(void) { main_fn(); return 0; }
+"#;
+
+fn cc_available() -> bool {
+    Command::new("cc").arg("--version").output().is_ok()
+}
+
+/// Exports, compiles, runs, and compares one program whose entry function
+/// is `main_fn` (no parameters, no returns).
+fn check_against_cc(prog: &Program, tag: &str) {
+    if !cc_available() {
+        eprintln!("skipping: no `cc` on PATH");
+        return;
+    }
+    // Interpreter side.
+    let mut interp = Interp::new(prog, Memory::with_size(0x1_0000), Recorder::default());
+    interp.call("main_fn", &[]).expect("source must run clean");
+    let expected = interp.ext.log.join("\n");
+
+    // C side.
+    let c = bedrock2::c_export::export_for_host_testing(prog) + C_HARNESS;
+    let dir = std::env::temp_dir().join(format!("br2_c_export_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("prog.c");
+    let bin = dir.join("prog");
+    std::fs::File::create(&src)
+        .unwrap()
+        .write_all(c.as_bytes())
+        .unwrap();
+    let out = Command::new("cc")
+        .args(["-O2", "-o"])
+        .arg(&bin)
+        .arg(&src)
+        .output()
+        .expect("cc runs");
+    assert!(
+        out.status.success(),
+        "cc failed:\n{}\n--- source ---\n{c}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let run = Command::new(&bin).output().expect("compiled program runs");
+    assert!(run.status.success());
+    let got = String::from_utf8_lossy(&run.stdout);
+    assert_eq!(
+        got.trim(),
+        expected.trim(),
+        "C and interpreter traces differ ({tag})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn arithmetic_and_control_flow_agree_with_cc() {
+    let f = Function::new(
+        "main_fn",
+        &[],
+        &[],
+        block([
+            set("s", lit(0)),
+            set("n", lit(20)),
+            while_(
+                var("n"),
+                block([
+                    set("s", add(mul(var("s"), lit(3)), var("n"))),
+                    set("n", sub(var("n"), lit(1))),
+                ]),
+            ),
+            interact(&[], "MMIOWRITE", [lit(0x1000_0000), var("s")]),
+            // Division conventions must survive the export.
+            interact(&[], "MMIOWRITE", [lit(0x1000_0004), divu(var("s"), lit(0))]),
+            interact(&[], "MMIOWRITE", [lit(0x1000_0008), remu(var("s"), lit(0))]),
+            // Signed operators.
+            interact(
+                &[],
+                "MMIOWRITE",
+                [lit(0x1000_000c), srs(lit(0x8000_0000), lit(4))],
+            ),
+            interact(
+                &[],
+                "MMIOWRITE",
+                [lit(0x1000_0010), lts(lit(0xFFFF_FFFF), lit(0))],
+            ),
+        ]),
+    );
+    check_against_cc(&Program::from_functions([f]), "arith");
+}
+
+#[test]
+fn memory_and_calls_agree_with_cc() {
+    let helper = Function::new(
+        "mix",
+        &["x", "y"],
+        &["r"],
+        set("r", xor(mul(var("x"), lit(0x9E37_79B9)), var("y"))),
+    );
+    let f = Function::new(
+        "main_fn",
+        &[],
+        &[],
+        block([
+            store4(lit(0x100), lit(0xAABB_CCDD)),
+            store1(lit(0x105), lit(0x42)),
+            store2(lit(0x10A), lit(0xBEEF)),
+            call(&["h"], "mix", [load4(lit(0x100)), load1(lit(0x105))]),
+            call(&["h"], "mix", [var("h"), load2(lit(0x10A))]),
+            interact(&[], "MMIOWRITE", [lit(0x1000_0000), var("h")]),
+            stackalloc(
+                "buf",
+                16,
+                block([
+                    store4(var("buf"), lit(7)),
+                    store4(add(var("buf"), lit(4)), load4(var("buf"))),
+                    interact(
+                        &[],
+                        "MMIOWRITE",
+                        [lit(0x1000_0004), load4(add(var("buf"), lit(4)))],
+                    ),
+                ]),
+            ),
+        ]),
+    );
+    check_against_cc(&Program::from_functions([helper, f]), "memory");
+}
+
+#[test]
+fn mmio_reads_agree_with_cc() {
+    let f = Function::new(
+        "main_fn",
+        &[],
+        &[],
+        block([
+            interact(&["a"], "MMIOREAD", [lit(0x1000_0000)]),
+            interact(&["b"], "MMIOREAD", [lit(0x1000_0010)]),
+            if_(
+                ltu(var("a"), var("b")),
+                interact(
+                    &[],
+                    "MMIOWRITE",
+                    [lit(0x1000_0020), sub(var("b"), var("a"))],
+                ),
+                interact(
+                    &[],
+                    "MMIOWRITE",
+                    [lit(0x1000_0024), sub(var("a"), var("b"))],
+                ),
+            ),
+        ]),
+    );
+    check_against_cc(&Program::from_functions([f]), "mmio");
+}

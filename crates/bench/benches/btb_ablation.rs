@@ -1,0 +1,103 @@
+//! BTB ablation (Figure 4's predictor, §5.5): simulated cycles to finish a
+//! branch-heavy workload with and without the branch target buffer. The
+//! ablation value (cycles saved) is printed once; criterion tracks the
+//! harness cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lightbulb_system::compiler::{compile, CompileOptions, NoExtCompiler};
+use lightbulb_system::processor::{PipelineConfig, Pipelined};
+use lightbulb_system::riscv::NoMmio;
+
+/// A branch-heavy workload: nested counted loops.
+fn workload_image() -> Vec<u8> {
+    use bedrock2::dsl::*;
+    use bedrock2::{Function, Program};
+    let main = Function::new(
+        "main",
+        &[],
+        &["acc"],
+        block([
+            set("acc", lit(0)),
+            set("i", lit(0)),
+            while_(
+                ltu(var("i"), lit(100)),
+                block([
+                    set("j", lit(0)),
+                    while_(
+                        ltu(var("j"), lit(20)),
+                        block([
+                            set("acc", add(var("acc"), var("j"))),
+                            set("j", add(var("j"), lit(1))),
+                        ]),
+                    ),
+                    set("i", add(var("i"), lit(1))),
+                ]),
+            ),
+        ]),
+    );
+    compile(
+        &Program::from_functions([main]),
+        &NoExtCompiler,
+        &CompileOptions::default(),
+    )
+    .unwrap()
+    .bytes()
+}
+
+fn run_to_halt(image: &[u8], config: PipelineConfig) -> (u64, f64) {
+    let mut cpu = Pipelined::new(image, 0x1_0000, NoMmio, config);
+    cpu.run(10_000_000);
+    assert!(cpu.halted, "workload must finish");
+    (cpu.cycle, cpu.ipc())
+}
+
+fn bench_btb(c: &mut Criterion) {
+    let image = workload_image();
+    let with = run_to_halt(&image, PipelineConfig::default());
+    let without = run_to_halt(
+        &image,
+        PipelineConfig {
+            btb_bits: None,
+            ..PipelineConfig::default()
+        },
+    );
+    println!(
+        "\nBTB ablation: with = {} cycles (IPC {:.2}), without = {} cycles (IPC {:.2}), speedup {:.2}x",
+        with.0,
+        with.1,
+        without.0,
+        without.1,
+        without.0 as f64 / with.0 as f64
+    );
+    assert!(with.0 < without.0, "the BTB must pay for itself on loops");
+
+    let mut g = c.benchmark_group("btb_ablation_sim_cost");
+    g.sample_size(20);
+    g.bench_function("with_btb", |b| {
+        b.iter_batched(
+            || image.clone(),
+            |img| run_to_halt(&img, PipelineConfig::default()).0,
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("without_btb", |b| {
+        b.iter_batched(
+            || image.clone(),
+            |img| {
+                run_to_halt(
+                    &img,
+                    PipelineConfig {
+                        btb_bits: None,
+                        ..PipelineConfig::default()
+                    },
+                )
+                .0
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_btb);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Compiler throughput: per-phase and whole-pipeline compile times for the
+//! lightbulb sources (the analogue of the paper's build-time discussion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightbulb_system::compiler::{
+    compile, flatten, opt, regalloc, CompileOptions, Entry, MmioExtCompiler,
+};
+use lightbulb_system::lightbulb::{lightbulb_program, DriverOptions};
+
+fn options(optimize: bool) -> CompileOptions {
+    CompileOptions {
+        stack_top: 0x1_0000,
+        stack_size: None,
+        entry: Entry::EventLoop {
+            init: Some("lightbulb_init".to_string()),
+            step: "lightbulb_loop".to_string(),
+        },
+        optimize,
+        spill_everything: false,
+    }
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let prog = lightbulb_program(DriverOptions::default());
+    let flat = flatten::flatten_program(&prog);
+
+    let mut g = c.benchmark_group("compile_lightbulb");
+    g.bench_function("whole_pipeline_naive", |b| {
+        b.iter(|| {
+            compile(&prog, &MmioExtCompiler, &options(false))
+                .unwrap()
+                .insts
+                .len()
+        })
+    });
+    g.bench_function("whole_pipeline_optimizing", |b| {
+        b.iter(|| {
+            compile(&prog, &MmioExtCompiler, &options(true))
+                .unwrap()
+                .insts
+                .len()
+        })
+    });
+    g.bench_function("phase1_flatten", |b| {
+        b.iter(|| flatten::flatten_program(&prog).functions.len())
+    });
+    g.bench_function("phase2_regalloc", |b| {
+        b.iter(|| {
+            flat.functions
+                .values()
+                .map(|f| regalloc::allocate(f).used_regs.len())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("optimizer_passes", |b| {
+        b.iter(|| opt::optimize_program(&prog).functions.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

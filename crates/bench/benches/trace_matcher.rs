@@ -1,0 +1,40 @@
+//! Trace-matcher performance: checking a real system trace against
+//! `goodHlTrace` (full membership and prefix acceptance), the §7.2.2
+//! analogue for the specification layer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightbulb_system::devices::TrafficGen;
+use lightbulb_system::integration::SystemConfig;
+use lightbulb_system::lightbulb::good_hl_trace;
+
+fn bench_matcher(c: &mut Criterion) {
+    let config = SystemConfig::default();
+    let mut gen = TrafficGen::new(5);
+    let frames = vec![gen.command(true), gen.command(false)];
+    let run = config.run(&frames, 400_000);
+    assert!(run.error.is_none());
+    let spec = good_hl_trace(config.driver);
+    assert!(spec.matches_prefix(&run.events));
+
+    let mut g = c.benchmark_group("trace_matching");
+    g.sample_size(20);
+    g.bench_function(format!("prefix_{}_events", run.events.len()), |b| {
+        b.iter(|| spec.matches_prefix(&run.events))
+    });
+    g.bench_function(format!("full_{}_events", run.events.len()), |b| {
+        b.iter(|| spec.matches(&run.events))
+    });
+    // The diagnostic path: localize a violation near the end.
+    let mut bad = run.events.clone();
+    bad.push(lightbulb_system::riscv::MmioEvent::store(
+        lightbulb_system::lightbulb::layout::GPIO_OUTPUT_VAL,
+        0,
+    ));
+    g.bench_function("longest_matching_prefix_on_violation", |b| {
+        b.iter(|| spec.longest_matching_prefix(&bad))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matcher);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Verification-machinery performance (§7.2.2): the prover, the symbolic
+//! executor, and the refinement checker under the microscope.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightbulb_system::integration::debug_dev::DebugDevice;
+use lightbulb_system::integration::progen::ProgGen;
+use lightbulb_system::processor::{check_refinement, PipelineConfig};
+use lightbulb_system::proglogic::symexec::{MmioExtSpec, SymExec};
+use lightbulb_system::proglogic::{prove, Formula, Term};
+
+fn bench_solver(c: &mut Criterion) {
+    // The §6.1-style obligation: a buffer bound flowing through
+    // arithmetic.
+    let len = Term::var(0, "len");
+    let assms = [Formula::ltu(&len, &Term::constant(1520))];
+    let padded = Term::op(
+        bedrock2::ast::BinOp::Mul,
+        &Term::op(
+            bedrock2::ast::BinOp::DivU,
+            &len.add_const(3),
+            &Term::constant(4),
+        ),
+        &Term::constant(4),
+    );
+    let goal = Formula::ltu(&padded, &Term::constant(2048));
+    c.bench_function("solver_buffer_bound", |b| b.iter(|| prove(&assms, &goal)));
+}
+
+fn bench_symexec(c: &mut Criterion) {
+    use bedrock2::dsl::*;
+    use bedrock2::{Function, Program};
+    let f = Function::new(
+        "wr",
+        &["p"],
+        &["r"],
+        block([
+            store4(var("p"), lit(7)),
+            // Initialize the second word so the byte store folds to a
+            // constant (symbolic-word byte extraction is provable for
+            // safety, not for exact values).
+            store4(add(var("p"), lit(4)), lit(0x1122_3344)),
+            store1(add(var("p"), lit(5)), lit(0xAA)),
+            set("r", add(load4(var("p")), load1(add(var("p"), lit(5))))),
+        ]),
+    );
+    let prog = Program::from_functions([f]);
+    let se = SymExec::new(
+        &prog,
+        MmioExtSpec {
+            ranges: lightbulb_system::lightbulb::layout::mmio_ranges(),
+        },
+    );
+    c.bench_function("symexec_memory_roundtrip", |b| {
+        b.iter(|| {
+            se.check_function(
+                "wr",
+                |st| vec![st.add_region("buf", 8)],
+                |_st, rets| vec![Formula::eq(&rets[0], &Term::constant(7 + 0xAA))],
+            )
+            .unwrap()
+            .obligations
+        })
+    });
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    use lightbulb_system::compiler::{compile, CompileOptions, MmioExtCompiler};
+    let prog = ProgGen::new(17).gen_program();
+    let image = compile(&prog, &MmioExtCompiler, &CompileOptions::default())
+        .expect("generated program compiles");
+    let bytes = image.bytes();
+    let mut g = c.benchmark_group("refinement_check");
+    g.sample_size(10);
+    g.bench_function("random_program", |b| {
+        b.iter(|| {
+            check_refinement(
+                &bytes,
+                0x1_0000,
+                DebugDevice::new(),
+                DebugDevice::claims,
+                PipelineConfig::default(),
+                10_000_000,
+            )
+            .unwrap()
+            .events
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_symexec, bench_refinement);
+criterion_main!(benches);

@@ -1,0 +1,518 @@
+//! FlatImp: the compiler's intermediate language.
+//!
+//! FlatImp is Bedrock2 with expressions flattened into three-address
+//! statements. It is *generic over the variable type* `V`: after the
+//! flattening phase variables are numbered temporaries ([`FlatVar`], the
+//! paper's "FlatImp with variables"); after register allocation they are
+//! machine locations ([`crate::regalloc::Loc`], the paper's "FlatImp with
+//! registers"). The two layers share this one syntax, exactly as in Figure 3
+//! of the paper.
+
+use bedrock2::ast::{BinOp, Size};
+use riscv_spec::Memory;
+use std::collections::HashMap;
+
+/// A numbered FlatImp variable (pre-register-allocation).
+pub type FlatVar = u32;
+
+/// A FlatImp statement over variables of type `V`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FStmt<V> {
+    /// Does nothing.
+    Skip,
+    /// `dest = value` (word literal).
+    Lit {
+        /// Destination variable.
+        dest: V,
+        /// The literal value.
+        value: u32,
+    },
+    /// `dest = src`.
+    Copy {
+        /// Destination variable.
+        dest: V,
+        /// Source variable.
+        src: V,
+    },
+    /// `dest = a ⊕ b`.
+    Op {
+        /// Destination variable.
+        dest: V,
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        a: V,
+        /// Right operand.
+        b: V,
+    },
+    /// `dest = load<size>(addr)`.
+    Load {
+        /// Destination variable.
+        dest: V,
+        /// Access width.
+        size: Size,
+        /// Variable holding the address.
+        addr: V,
+    },
+    /// `store<size>(addr, value)`.
+    Store {
+        /// Access width.
+        size: Size,
+        /// Variable holding the address.
+        addr: V,
+        /// Variable holding the value.
+        value: V,
+    },
+    /// `if (cond != 0) { then_ } else { else_ }`.
+    If {
+        /// Condition variable (tested against zero).
+        cond: V,
+        /// Taken branch.
+        then_: Box<FStmt<V>>,
+        /// Fallthrough branch.
+        else_: Box<FStmt<V>>,
+    },
+    /// `loop { cond_stmts; if (cond == 0) break; body }` — a `while` whose
+    /// condition computation was flattened into `cond_stmts`.
+    Loop {
+        /// Statements recomputing the condition each iteration.
+        cond_stmts: Box<FStmt<V>>,
+        /// Condition variable (tested against zero after `cond_stmts`).
+        cond: V,
+        /// Loop body.
+        body: Box<FStmt<V>>,
+    },
+    /// Sequential composition.
+    Seq(Vec<FStmt<V>>),
+    /// Call to a FlatImp-compiled function.
+    Call {
+        /// Variables receiving the results.
+        rets: Vec<V>,
+        /// Callee name.
+        f: String,
+        /// Variables holding the arguments.
+        args: Vec<V>,
+    },
+    /// External call (compiled by the pluggable external-calls compiler,
+    /// §6.3).
+    Interact {
+        /// Variables receiving the results.
+        rets: Vec<V>,
+        /// External procedure name.
+        action: String,
+        /// Variables holding the arguments.
+        args: Vec<V>,
+    },
+    /// `dest = <address of a fresh n-byte stack region>; body`.
+    Stackalloc {
+        /// Variable receiving the region's address.
+        dest: V,
+        /// Region size in bytes (already rounded to a word multiple by
+        /// flattening).
+        nbytes: u32,
+        /// Scope of the allocation.
+        body: Box<FStmt<V>>,
+    },
+}
+
+impl<V> FStmt<V> {
+    /// Applies `f` to every variable occurrence, producing a statement over
+    /// a new variable type. This is how register allocation rewrites
+    /// "FlatImp with variables" into "FlatImp with registers".
+    pub fn map_vars<W>(&self, f: &mut impl FnMut(&V) -> W) -> FStmt<W> {
+        match self {
+            FStmt::Skip => FStmt::Skip,
+            FStmt::Lit { dest, value } => FStmt::Lit {
+                dest: f(dest),
+                value: *value,
+            },
+            FStmt::Copy { dest, src } => FStmt::Copy {
+                dest: f(dest),
+                src: f(src),
+            },
+            FStmt::Op { dest, op, a, b } => FStmt::Op {
+                dest: f(dest),
+                op: *op,
+                a: f(a),
+                b: f(b),
+            },
+            FStmt::Load { dest, size, addr } => FStmt::Load {
+                dest: f(dest),
+                size: *size,
+                addr: f(addr),
+            },
+            FStmt::Store { size, addr, value } => FStmt::Store {
+                size: *size,
+                addr: f(addr),
+                value: f(value),
+            },
+            FStmt::If { cond, then_, else_ } => FStmt::If {
+                cond: f(cond),
+                then_: Box::new(then_.map_vars(f)),
+                else_: Box::new(else_.map_vars(f)),
+            },
+            FStmt::Loop {
+                cond_stmts,
+                cond,
+                body,
+            } => FStmt::Loop {
+                cond_stmts: Box::new(cond_stmts.map_vars(f)),
+                cond: f(cond),
+                body: Box::new(body.map_vars(f)),
+            },
+            FStmt::Seq(ss) => FStmt::Seq(ss.iter().map(|s| s.map_vars(f)).collect()),
+            FStmt::Call {
+                rets,
+                f: name,
+                args,
+            } => FStmt::Call {
+                rets: rets.iter().map(&mut *f).collect(),
+                f: name.clone(),
+                args: args.iter().map(&mut *f).collect(),
+            },
+            FStmt::Interact { rets, action, args } => FStmt::Interact {
+                rets: rets.iter().map(&mut *f).collect(),
+                action: action.clone(),
+                args: args.iter().map(&mut *f).collect(),
+            },
+            FStmt::Stackalloc { dest, nbytes, body } => FStmt::Stackalloc {
+                dest: f(dest),
+                nbytes: *nbytes,
+                body: Box::new(body.map_vars(f)),
+            },
+        }
+    }
+
+    /// Total bytes of `Stackalloc` regions in this statement (each
+    /// allocation gets a statically disjoint region, so this is the sum).
+    pub fn stackalloc_bytes(&self) -> u32 {
+        match self {
+            FStmt::If { then_, else_, .. } => then_.stackalloc_bytes() + else_.stackalloc_bytes(),
+            FStmt::Loop {
+                cond_stmts, body, ..
+            } => cond_stmts.stackalloc_bytes() + body.stackalloc_bytes(),
+            FStmt::Seq(ss) => ss.iter().map(FStmt::stackalloc_bytes).sum(),
+            FStmt::Stackalloc { nbytes, body, .. } => nbytes + body.stackalloc_bytes(),
+            _ => 0,
+        }
+    }
+}
+
+/// A FlatImp function: numbered parameters and returns plus a body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlatFunction<V> {
+    /// The function's name (unchanged from Bedrock2).
+    pub name: String,
+    /// Parameter variables, bound on entry.
+    pub params: Vec<V>,
+    /// Variables whose final values are returned.
+    pub rets: Vec<V>,
+    /// The body.
+    pub body: FStmt<V>,
+    /// Number of distinct variables (valid ids are `0..nvars`); only
+    /// meaningful for `V = FlatVar`.
+    pub nvars: u32,
+}
+
+/// A FlatImp program.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlatProgram<V> {
+    /// Functions by name.
+    pub functions: std::collections::BTreeMap<String, FlatFunction<V>>,
+}
+
+/// Errors of the FlatImp reference interpreter (used only in testing the
+/// flattening phase, so a plain descriptive enum suffices).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlatUb {
+    /// Memory access out of bounds or misaligned.
+    BadAccess {
+        /// Faulting address.
+        addr: u32,
+        /// Access width.
+        size: Size,
+    },
+    /// Call to an unknown function.
+    UnknownFunction(String),
+    /// External call refused by the handler.
+    ExternalRefused(String),
+    /// Fuel exhausted.
+    OutOfFuel,
+    /// Stack region exhausted.
+    StackOverflow,
+}
+
+/// Reference interpreter for FlatImp over numbered variables, used to
+/// differentially test the flattening phase against the Bedrock2
+/// interpreter.
+#[derive(Debug)]
+pub struct FlatInterp<'p, E> {
+    prog: &'p FlatProgram<FlatVar>,
+    /// Memory shared with the source-level run.
+    pub mem: Memory,
+    /// The interaction trace as `(action, args, rets)`.
+    pub trace: Vec<bedrock2::IoEvent>,
+    /// External environment (same trait as the Bedrock2 interpreter).
+    pub ext: E,
+    /// Remaining fuel.
+    pub fuel: u64,
+    stack_ptr: u32,
+    stack_limit: u32,
+}
+
+impl<'p, E: bedrock2::ExtHandler> FlatInterp<'p, E> {
+    /// Creates an interpreter; the stack region mirrors the Bedrock2
+    /// interpreter's default (top half of memory).
+    pub fn new(prog: &'p FlatProgram<FlatVar>, mem: Memory, ext: E) -> FlatInterp<'p, E> {
+        let top = mem.size();
+        FlatInterp {
+            prog,
+            mem,
+            trace: Vec::new(),
+            ext,
+            fuel: bedrock2::semantics::DEFAULT_FUEL,
+            stack_ptr: top,
+            stack_limit: top / 2,
+        }
+    }
+
+    /// Calls a function by name.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FlatUb`] reached during execution.
+    pub fn call(&mut self, name: &str, args: &[u32]) -> Result<Vec<u32>, FlatUb> {
+        let f = self
+            .prog
+            .functions
+            .get(name)
+            .ok_or_else(|| FlatUb::UnknownFunction(name.to_string()))?;
+        let mut env: HashMap<FlatVar, u32> = HashMap::new();
+        for (p, v) in f.params.iter().zip(args) {
+            env.insert(*p, *v);
+        }
+        self.exec(&f.body, &mut env)?;
+        Ok(f.rets
+            .iter()
+            .map(|r| env.get(r).copied().unwrap_or(0))
+            .collect())
+    }
+
+    fn burn(&mut self) -> Result<(), FlatUb> {
+        if self.fuel == 0 {
+            return Err(FlatUb::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn exec(&mut self, s: &FStmt<FlatVar>, env: &mut HashMap<FlatVar, u32>) -> Result<(), FlatUb> {
+        self.burn()?;
+        let get = |env: &HashMap<FlatVar, u32>, v: &FlatVar| env.get(v).copied().unwrap_or(0);
+        match s {
+            FStmt::Skip => Ok(()),
+            FStmt::Lit { dest, value } => {
+                env.insert(*dest, *value);
+                Ok(())
+            }
+            FStmt::Copy { dest, src } => {
+                let v = get(env, src);
+                env.insert(*dest, v);
+                Ok(())
+            }
+            FStmt::Op { dest, op, a, b } => {
+                let v = op.eval(get(env, a), get(env, b));
+                env.insert(*dest, v);
+                Ok(())
+            }
+            FStmt::Load { dest, size, addr } => {
+                let a = get(env, addr);
+                let v = self.load(*size, a)?;
+                env.insert(*dest, v);
+                Ok(())
+            }
+            FStmt::Store { size, addr, value } => {
+                let a = get(env, addr);
+                let v = get(env, value);
+                self.store(*size, a, v)
+            }
+            FStmt::If { cond, then_, else_ } => {
+                if get(env, cond) != 0 {
+                    self.exec(then_, env)
+                } else {
+                    self.exec(else_, env)
+                }
+            }
+            FStmt::Loop {
+                cond_stmts,
+                cond,
+                body,
+            } => loop {
+                self.exec(cond_stmts, env)?;
+                if get(env, cond) == 0 {
+                    return Ok(());
+                }
+                self.exec(body, env)?;
+                self.burn()?;
+            },
+            FStmt::Seq(ss) => {
+                for s in ss {
+                    self.exec(s, env)?;
+                }
+                Ok(())
+            }
+            FStmt::Call { rets, f, args } => {
+                let argv: Vec<u32> = args.iter().map(|a| get(env, a)).collect();
+                let retv = self.call(f, &argv)?;
+                for (r, v) in rets.iter().zip(retv) {
+                    env.insert(*r, v);
+                }
+                Ok(())
+            }
+            FStmt::Interact { rets, action, args } => {
+                let argv: Vec<u32> = args.iter().map(|a| get(env, a)).collect();
+                let retv = self
+                    .ext
+                    .call(action, &argv, &mut self.mem)
+                    .map_err(FlatUb::ExternalRefused)?;
+                self.trace.push(bedrock2::IoEvent {
+                    action: action.clone(),
+                    args: argv,
+                    rets: retv.clone(),
+                });
+                for (r, v) in rets.iter().zip(retv) {
+                    env.insert(*r, v);
+                }
+                Ok(())
+            }
+            FStmt::Stackalloc { dest, nbytes, body } => {
+                let new_sp = self
+                    .stack_ptr
+                    .checked_sub(*nbytes)
+                    .ok_or(FlatUb::StackOverflow)?;
+                if new_sp < self.stack_limit {
+                    return Err(FlatUb::StackOverflow);
+                }
+                let saved = self.stack_ptr;
+                self.stack_ptr = new_sp;
+                env.insert(*dest, new_sp);
+                let out = self.exec(body, env);
+                self.stack_ptr = saved;
+                out
+            }
+        }
+    }
+
+    fn load(&mut self, size: Size, addr: u32) -> Result<u32, FlatUb> {
+        if !riscv_spec::word::is_aligned(addr, size.bytes()) {
+            return Err(FlatUb::BadAccess { addr, size });
+        }
+        match size {
+            Size::One => self.mem.load_u8(addr).map(|v| v as u32),
+            Size::Two => self.mem.load_u16(addr).map(|v| v as u32),
+            Size::Four => self.mem.load_u32(addr),
+        }
+        .map_err(|_| FlatUb::BadAccess { addr, size })
+    }
+
+    fn store(&mut self, size: Size, addr: u32, v: u32) -> Result<(), FlatUb> {
+        if !riscv_spec::word::is_aligned(addr, size.bytes()) {
+            return Err(FlatUb::BadAccess { addr, size });
+        }
+        match size {
+            Size::One => self.mem.store_u8(addr, v as u8),
+            Size::Two => self.mem.store_u16(addr, v as u16),
+            Size::Four => self.mem.store_u32(addr, v),
+        }
+        .map_err(|_| FlatUb::BadAccess { addr, size })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bedrock2::semantics::NoExt;
+
+    fn seq(v: Vec<FStmt<FlatVar>>) -> FStmt<FlatVar> {
+        FStmt::Seq(v)
+    }
+
+    #[test]
+    fn flat_interp_runs_loop() {
+        // f(n) -> s: s=0; loop { c = n != 0 (as n itself); if !n break; s+=n; n-=1 }
+        let body = seq(vec![
+            FStmt::Lit { dest: 1, value: 0 },
+            FStmt::Loop {
+                cond_stmts: Box::new(FStmt::Copy { dest: 2, src: 0 }),
+                cond: 2,
+                body: Box::new(seq(vec![
+                    FStmt::Op {
+                        dest: 1,
+                        op: BinOp::Add,
+                        a: 1,
+                        b: 0,
+                    },
+                    FStmt::Lit { dest: 3, value: 1 },
+                    FStmt::Op {
+                        dest: 0,
+                        op: BinOp::Sub,
+                        a: 0,
+                        b: 3,
+                    },
+                ])),
+            },
+        ]);
+        let f = FlatFunction {
+            name: "sum".into(),
+            params: vec![0],
+            rets: vec![1],
+            body,
+            nvars: 4,
+        };
+        let mut prog = FlatProgram::default();
+        prog.functions.insert("sum".into(), f);
+        let mut i = FlatInterp::new(&prog, Memory::with_size(64), NoExt);
+        assert_eq!(i.call("sum", &[10]).unwrap(), vec![55]);
+    }
+
+    #[test]
+    fn map_vars_changes_variable_type() {
+        let s: FStmt<FlatVar> = FStmt::Op {
+            dest: 0,
+            op: BinOp::Add,
+            a: 1,
+            b: 2,
+        };
+        let mapped: FStmt<String> = s.map_vars(&mut |v| format!("v{v}"));
+        assert_eq!(
+            mapped,
+            FStmt::Op {
+                dest: "v0".into(),
+                op: BinOp::Add,
+                a: "v1".into(),
+                b: "v2".into()
+            }
+        );
+    }
+
+    #[test]
+    fn stackalloc_bytes_sums_all_regions() {
+        let s: FStmt<FlatVar> = seq(vec![
+            FStmt::Stackalloc {
+                dest: 0,
+                nbytes: 8,
+                body: Box::new(FStmt::Skip),
+            },
+            FStmt::If {
+                cond: 1,
+                then_: Box::new(FStmt::Stackalloc {
+                    dest: 2,
+                    nbytes: 16,
+                    body: Box::new(FStmt::Skip),
+                }),
+                else_: Box::new(FStmt::Skip),
+            },
+        ]);
+        assert_eq!(s.stackalloc_bytes(), 24);
+    }
+}

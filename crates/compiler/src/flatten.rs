@@ -1,0 +1,295 @@
+//! Phase 1: flattening Bedrock2 expressions into FlatImp three-address code.
+//!
+//! Every nested expression becomes a sequence of statements computing its
+//! value into a fresh numbered temporary. Named source variables map to
+//! stable low-numbered [`FlatVar`]s so that a source variable and its FlatImp
+//! counterpart always hold the same value — the simulation relation of the
+//! paper's phase-1 proof, which the property tests in this crate check
+//! differentially.
+
+use crate::flatimp::{FStmt, FlatFunction, FlatProgram, FlatVar};
+use bedrock2::ast::{Expr, Function, Program, Stmt};
+use std::collections::HashMap;
+
+/// Variable-numbering context for one function.
+#[derive(Debug, Default)]
+struct Namer {
+    names: HashMap<String, FlatVar>,
+    next: FlatVar,
+}
+
+impl Namer {
+    fn named(&mut self, x: &str) -> FlatVar {
+        if let Some(v) = self.names.get(x) {
+            *v
+        } else {
+            let v = self.next;
+            self.next += 1;
+            self.names.insert(x.to_string(), v);
+            v
+        }
+    }
+
+    fn fresh(&mut self) -> FlatVar {
+        let v = self.next;
+        self.next += 1;
+        v
+    }
+}
+
+fn flatten_expr(e: &Expr, n: &mut Namer, out: &mut Vec<FStmt<FlatVar>>) -> FlatVar {
+    match e {
+        Expr::Literal(v) => {
+            let t = n.fresh();
+            out.push(FStmt::Lit { dest: t, value: *v });
+            t
+        }
+        Expr::Var(x) => n.named(x),
+        Expr::Load(size, addr) => {
+            let a = flatten_expr(addr, n, out);
+            let t = n.fresh();
+            out.push(FStmt::Load {
+                dest: t,
+                size: *size,
+                addr: a,
+            });
+            t
+        }
+        Expr::Op(op, ea, eb) => {
+            let a = flatten_expr(ea, n, out);
+            let b = flatten_expr(eb, n, out);
+            let t = n.fresh();
+            out.push(FStmt::Op {
+                dest: t,
+                op: *op,
+                a,
+                b,
+            });
+            t
+        }
+    }
+}
+
+fn flatten_stmt(s: &Stmt, n: &mut Namer) -> FStmt<FlatVar> {
+    match s {
+        Stmt::Skip => FStmt::Skip,
+        Stmt::Set(x, e) => {
+            let mut out = Vec::new();
+            let v = flatten_expr(e, n, &mut out);
+            let dest = n.named(x);
+            // Assign through a copy so that `x = x + 1` works even though
+            // the temp was computed from the old value of x.
+            out.push(FStmt::Copy { dest, src: v });
+            FStmt::Seq(out)
+        }
+        Stmt::Store(size, ea, ev) => {
+            let mut out = Vec::new();
+            let a = flatten_expr(ea, n, &mut out);
+            let v = flatten_expr(ev, n, &mut out);
+            out.push(FStmt::Store {
+                size: *size,
+                addr: a,
+                value: v,
+            });
+            FStmt::Seq(out)
+        }
+        Stmt::If(c, t, e) => {
+            let mut out = Vec::new();
+            let cv = flatten_expr(c, n, &mut out);
+            let then_ = Box::new(flatten_stmt(t, n));
+            let else_ = Box::new(flatten_stmt(e, n));
+            out.push(FStmt::If {
+                cond: cv,
+                then_,
+                else_,
+            });
+            FStmt::Seq(out)
+        }
+        Stmt::While(c, body) => {
+            let mut cond_stmts = Vec::new();
+            let cv = flatten_expr(c, n, &mut cond_stmts);
+            let body = Box::new(flatten_stmt(body, n));
+            FStmt::Loop {
+                cond_stmts: Box::new(FStmt::Seq(cond_stmts)),
+                cond: cv,
+                body,
+            }
+        }
+        Stmt::Block(ss) => FStmt::Seq(ss.iter().map(|s| flatten_stmt(s, n)).collect()),
+        Stmt::Call(rets, f, args) => {
+            let mut out = Vec::new();
+            let argv: Vec<FlatVar> = args.iter().map(|a| flatten_expr(a, n, &mut out)).collect();
+            let retv: Vec<FlatVar> = rets.iter().map(|r| n.named(r)).collect();
+            out.push(FStmt::Call {
+                rets: retv,
+                f: f.clone(),
+                args: argv,
+            });
+            FStmt::Seq(out)
+        }
+        Stmt::Interact(rets, action, args) => {
+            let mut out = Vec::new();
+            let argv: Vec<FlatVar> = args.iter().map(|a| flatten_expr(a, n, &mut out)).collect();
+            let retv: Vec<FlatVar> = rets.iter().map(|r| n.named(r)).collect();
+            out.push(FStmt::Interact {
+                rets: retv,
+                action: action.clone(),
+                args: argv,
+            });
+            FStmt::Seq(out)
+        }
+        Stmt::Stackalloc(x, nbytes, body) => {
+            let dest = n.named(x);
+            let body = Box::new(flatten_stmt(body, n));
+            FStmt::Stackalloc {
+                dest,
+                nbytes: nbytes.div_ceil(4) * 4,
+                body,
+            }
+        }
+    }
+}
+
+/// Flattens one function.
+pub fn flatten_function(f: &Function) -> FlatFunction<FlatVar> {
+    let mut n = Namer::default();
+    let params: Vec<FlatVar> = f.params.iter().map(|p| n.named(p)).collect();
+    let body = flatten_stmt(&f.body, &mut n);
+    let rets: Vec<FlatVar> = f.rets.iter().map(|r| n.named(r)).collect();
+    FlatFunction {
+        name: f.name.clone(),
+        params,
+        rets,
+        body,
+        nvars: n.next,
+    }
+}
+
+/// Flattens a whole program.
+pub fn flatten_program(p: &Program) -> FlatProgram<FlatVar> {
+    let mut out = FlatProgram::default();
+    for f in p.functions.values() {
+        out.functions.insert(f.name.clone(), flatten_function(f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flatimp::FlatInterp;
+    use bedrock2::dsl::*;
+    use bedrock2::semantics::{Interp, NoExt};
+    use riscv_spec::Memory;
+
+    /// Differentially checks one no-argument function against its flattened
+    /// form: same return values, same memory, same trace.
+    fn check_equivalent(f: Function, args: &[u32]) {
+        let name = f.name.clone();
+        let p = Program::from_functions([f]);
+        let fp = flatten_program(&p);
+
+        let mut src = Interp::new(&p, Memory::with_size(0x1000), NoExt);
+        let mut flat = FlatInterp::new(&fp, Memory::with_size(0x1000), NoExt);
+        let a = src.call(&name, args);
+        let b = flat.call(&name, args);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x, y, "return values differ");
+                assert_eq!(src.mem.as_bytes(), flat.mem.as_bytes(), "memory differs");
+            }
+            (a, b) => panic!("outcomes differ: src={a:?} flat={b:?}"),
+        }
+    }
+
+    #[test]
+    fn self_assignment_uses_old_value() {
+        check_equivalent(
+            Function::new(
+                "f",
+                &["x"],
+                &["x"],
+                block([
+                    set("x", add(var("x"), lit(1))),
+                    set("x", mul(var("x"), var("x"))),
+                ]),
+            ),
+            &[4],
+        );
+    }
+
+    #[test]
+    fn loop_condition_is_recomputed() {
+        check_equivalent(
+            Function::new(
+                "f",
+                &["n"],
+                &["s"],
+                block([
+                    set("s", lit(0)),
+                    while_(
+                        ltu(lit(0), var("n")),
+                        block([
+                            set("s", add(var("s"), var("n"))),
+                            set("n", sub(var("n"), lit(1))),
+                        ]),
+                    ),
+                ]),
+            ),
+            &[7],
+        );
+    }
+
+    #[test]
+    fn memory_operations_flatten() {
+        check_equivalent(
+            Function::new(
+                "f",
+                &["p"],
+                &["v"],
+                block([
+                    store4(var("p"), lit(0xABCD)),
+                    store1(add(var("p"), lit(5)), lit(0x7F)),
+                    set("v", add(load4(var("p")), load1(add(var("p"), lit(5))))),
+                ]),
+            ),
+            &[0x100],
+        );
+    }
+
+    #[test]
+    fn nested_if_flattens() {
+        check_equivalent(
+            Function::new(
+                "f",
+                &["a", "b"],
+                &["r"],
+                if_(
+                    ltu(var("a"), var("b")),
+                    if_(eq(var("a"), lit(0)), set("r", lit(1)), set("r", lit(2))),
+                    set("r", lit(3)),
+                ),
+            ),
+            &[0, 5],
+        );
+    }
+
+    #[test]
+    fn stackalloc_rounds_to_words() {
+        let f = Function::new("f", &[], &[], stackalloc("b", 6, Stmt::Skip));
+        use bedrock2::ast::Stmt;
+        let ff = flatten_function(&f);
+        match ff.body {
+            FStmt::Stackalloc { nbytes, .. } => assert_eq!(nbytes, 8),
+            other => panic!("unexpected flattening: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn params_get_lowest_numbers() {
+        let f = Function::new("f", &["a", "b"], &["c"], set("c", add(var("a"), var("b"))));
+        let ff = flatten_function(&f);
+        assert_eq!(ff.params, vec![0, 1]);
+        assert!(ff.nvars >= 3);
+    }
+}

@@ -1,0 +1,408 @@
+//! Layout and link: place functions, resolve control flow, build the boot
+//! image, and statically bound stack usage.
+//!
+//! The output corresponds to the paper's `lightbulb_insts`/`instrencode`:
+//! a list of instruction words which, placed at address 0 of a RISC-V
+//! machine, runs the program with no bootloader (§5.9). The first
+//! instructions are an entry harness that initializes the stack pointer
+//! and either calls `main` and halts (for batch programs) or enters the
+//! `init(); while(1) loop()` event loop of embedded practice (§5.2).
+//!
+//! Because recursion is rejected and each frame has a static size, the
+//! worst-case stack consumption of the whole program is computed here by a
+//! longest-path walk over the call graph — the executable counterpart of
+//! the paper's guarantee that "the application will never run out of
+//! memory" (§5.3).
+
+use crate::rv32::{AsmInst, CompileError, FnCode, Label};
+use riscv_spec::{Instruction, Reg};
+use std::collections::{BTreeMap, HashMap};
+
+/// How execution should enter the program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Entry {
+    /// Set up the stack, call `main` once, then `ebreak` (the halt
+    /// convention used by tests and batch examples).
+    MainThenHalt {
+        /// Name of the entry function (no parameters).
+        main: String,
+    },
+    /// Set up the stack, call `init` if given, then call `step` forever —
+    /// the `init(); while(1) loop()` idiom (§5.2). The program never halts.
+    EventLoop {
+        /// Optional initialization function (no parameters).
+        init: Option<String>,
+        /// The loop body function (no parameters), called repeatedly.
+        step: String,
+    },
+}
+
+/// Compilation options.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Initial stack pointer (top of the downward-growing stack).
+    pub stack_top: u32,
+    /// Bytes available for the stack; when `Some`, compilation fails if the
+    /// static worst case exceeds it.
+    pub stack_size: Option<u32>,
+    /// Entry convention.
+    pub entry: Entry,
+    /// Run the optimization pipeline (constant folding/propagation, copy
+    /// propagation, dead-code elimination, inlining) before compiling.
+    /// `false` reproduces the paper's naive verified compiler; `true` is
+    /// the "gcc-like" baseline of the §7.2.1 comparison.
+    pub optimize: bool,
+    /// Ablation: spill every variable instead of allocating registers
+    /// (quantifies what the register allocator — one of the optimizations
+    /// the paper chose to implement, §7.2 — is worth).
+    pub spill_everything: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions {
+            stack_top: 0x1_0000,
+            stack_size: None,
+            entry: Entry::MainThenHalt {
+                main: "main".to_string(),
+            },
+            optimize: false,
+            spill_everything: false,
+        }
+    }
+}
+
+/// A fully linked program image.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// The instructions, to be placed at address 0.
+    pub insts: Vec<Instruction>,
+    /// Base address of each compiled function.
+    pub function_addrs: BTreeMap<String, u32>,
+    /// The configured initial stack pointer.
+    pub stack_top: u32,
+    /// Static worst-case stack consumption in bytes.
+    pub max_stack_usage: u32,
+    /// For [`Entry::EventLoop`] images: the address of the loop head (the
+    /// `jal` to the step function). Liveness checking — the paper's
+    /// "always eventually back at the loop invariant" (§5.2) — watches the
+    /// pc return here.
+    pub event_loop_head: Option<u32>,
+}
+
+impl CompiledProgram {
+    /// The program as instruction words.
+    pub fn words(&self) -> Vec<u32> {
+        self.insts.iter().map(riscv_spec::encode).collect()
+    }
+
+    /// The program as little-endian bytes (the paper's `instrencode`).
+    pub fn bytes(&self) -> Vec<u8> {
+        riscv_spec::encode::encode_to_bytes(&self.insts)
+    }
+
+    /// Size of the image in bytes.
+    pub fn image_size(&self) -> u32 {
+        (self.insts.len() * 4) as u32
+    }
+
+    /// A human-readable listing with addresses and function markers.
+    pub fn listing(&self) -> String {
+        let mut addr_names: BTreeMap<u32, &str> = BTreeMap::new();
+        for (n, a) in &self.function_addrs {
+            addr_names.insert(*a, n);
+        }
+        let mut out = String::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            let addr = (i * 4) as u32;
+            if let Some(name) = addr_names.get(&addr) {
+                out.push_str(&format!("\n<{name}>:\n"));
+            }
+            out.push_str(&format!("{addr:08x}:  {}\n", riscv_spec::disassemble(inst)));
+        }
+        out
+    }
+}
+
+fn asm_len(asm: &[AsmInst]) -> u32 {
+    asm.iter()
+        .filter(|i| !matches!(i, AsmInst::LabelDef(_)))
+        .count() as u32
+        * 4
+}
+
+fn resolve(
+    asm: &[AsmInst],
+    base: u32,
+    fn_addrs: &BTreeMap<String, u32>,
+    out: &mut Vec<Instruction>,
+) -> Result<(), CompileError> {
+    // First pass: label → address.
+    let mut labels: HashMap<Label, u32> = HashMap::new();
+    let mut pc = base;
+    for i in asm {
+        match i {
+            AsmInst::LabelDef(l) => {
+                labels.insert(*l, pc);
+            }
+            _ => pc += 4,
+        }
+    }
+    // Second pass: materialize.
+    let mut pc = base;
+    for i in asm {
+        let inst = match i {
+            AsmInst::LabelDef(_) => continue,
+            AsmInst::Real(inst) => *inst,
+            AsmInst::SkipIfNonZero { rs } => Instruction::Bne {
+                rs1: *rs,
+                rs2: Reg::X0,
+                offset: 8,
+            },
+            AsmInst::SkipIfZero { rs } => Instruction::Beq {
+                rs1: *rs,
+                rs2: Reg::X0,
+                offset: 8,
+            },
+            AsmInst::Jump { label } => {
+                let target = labels[label];
+                Instruction::Jal {
+                    rd: Reg::X0,
+                    offset: target.wrapping_sub(pc) as i32,
+                }
+            }
+            AsmInst::CallFn { name } => {
+                let target = *fn_addrs
+                    .get(name)
+                    .ok_or_else(|| CompileError::UnknownFunction(name.clone()))?;
+                Instruction::Jal {
+                    rd: Reg::X1,
+                    offset: target.wrapping_sub(pc) as i32,
+                }
+            }
+        };
+        out.push(inst);
+        pc += 4;
+    }
+    Ok(())
+}
+
+/// Builds the entry harness; also returns the loop-head address for
+/// event-loop entries.
+fn harness(entry: &Entry, stack_top: u32) -> (Vec<AsmInst>, Option<u32>) {
+    let mut asm = Vec::new();
+    // li sp, stack_top
+    let v = stack_top;
+    if (v as i32) >= -2048 && (v as i32) <= 2047 {
+        asm.push(AsmInst::Real(Instruction::Addi {
+            rd: Reg::X2,
+            rs1: Reg::X0,
+            imm: v as i32,
+        }));
+    } else {
+        let hi = v.wrapping_add(0x800) >> 12;
+        let lo = riscv_spec::word::sign_extend(v & 0xFFF, 12) as i32;
+        asm.push(AsmInst::Real(Instruction::Lui {
+            rd: Reg::X2,
+            imm20: hi & 0xFFFFF,
+        }));
+        if lo != 0 {
+            asm.push(AsmInst::Real(Instruction::Addi {
+                rd: Reg::X2,
+                rs1: Reg::X2,
+                imm: lo,
+            }));
+        }
+    }
+    let mut head_addr = None;
+    match entry {
+        Entry::MainThenHalt { main } => {
+            asm.push(AsmInst::CallFn { name: main.clone() });
+            asm.push(AsmInst::Real(Instruction::Ebreak));
+        }
+        Entry::EventLoop { init, step } => {
+            if let Some(init) = init {
+                asm.push(AsmInst::CallFn { name: init.clone() });
+            }
+            let head = Label(0);
+            head_addr = Some(asm_len(&asm));
+            asm.push(AsmInst::LabelDef(head));
+            asm.push(AsmInst::CallFn { name: step.clone() });
+            asm.push(AsmInst::Jump { label: head });
+        }
+    }
+    (asm, head_addr)
+}
+
+fn stack_usage(
+    name: &str,
+    codes: &BTreeMap<String, FnCode>,
+    memo: &mut HashMap<String, u32>,
+    visiting: &mut Vec<String>,
+) -> Result<u32, CompileError> {
+    if let Some(u) = memo.get(name) {
+        return Ok(*u);
+    }
+    if visiting.iter().any(|v| v == name) {
+        return Err(CompileError::Recursion(name.to_string()));
+    }
+    let code = codes
+        .get(name)
+        .ok_or_else(|| CompileError::UnknownFunction(name.to_string()))?;
+    visiting.push(name.to_string());
+    let mut worst_callee = 0;
+    for c in &code.callees {
+        worst_callee = worst_callee.max(stack_usage(c, codes, memo, visiting)?);
+    }
+    visiting.pop();
+    let total = code.frame.size() + worst_callee;
+    memo.insert(name.to_string(), total);
+    Ok(total)
+}
+
+/// Links compiled functions with an entry harness into a boot image.
+///
+/// # Errors
+///
+/// Reports unresolved calls, recursion discovered during the stack-usage
+/// walk, missing entry functions, and a stack region too small for the
+/// static worst case.
+pub fn link(
+    codes: BTreeMap<String, FnCode>,
+    opts: &CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
+    // Validate entry functions exist.
+    let entry_fns: Vec<&String> = match &opts.entry {
+        Entry::MainThenHalt { main } => vec![main],
+        Entry::EventLoop { init, step } => init.iter().chain(std::iter::once(step)).collect(),
+    };
+    for e in &entry_fns {
+        if !codes.contains_key(*e) {
+            return Err(CompileError::BadEntry((*e).clone()));
+        }
+    }
+
+    let (harness_asm, event_loop_head) = harness(&opts.entry, opts.stack_top);
+
+    // Layout: harness at 0, then functions in name order.
+    let mut fn_addrs: BTreeMap<String, u32> = BTreeMap::new();
+    let mut cursor = asm_len(&harness_asm);
+    for (name, code) in &codes {
+        fn_addrs.insert(name.clone(), cursor);
+        cursor += asm_len(&code.asm);
+    }
+
+    let mut insts = Vec::with_capacity((cursor / 4) as usize);
+    resolve(&harness_asm, 0, &fn_addrs, &mut insts)?;
+    for (name, code) in &codes {
+        resolve(&code.asm, fn_addrs[name], &fn_addrs, &mut insts)?;
+    }
+
+    // Static stack bound.
+    let mut memo = HashMap::new();
+    let mut max_stack_usage = 0;
+    for e in &entry_fns {
+        max_stack_usage = max_stack_usage.max(stack_usage(e, &codes, &mut memo, &mut Vec::new())?);
+    }
+    if let Some(available) = opts.stack_size {
+        if max_stack_usage > available {
+            return Err(CompileError::StackTooSmall {
+                required: max_stack_usage,
+                available,
+            });
+        }
+    }
+
+    Ok(CompiledProgram {
+        insts,
+        function_addrs: fn_addrs,
+        stack_top: opts.stack_top,
+        max_stack_usage,
+        event_loop_head,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rv32::FrameLayout;
+
+    fn dummy_code(name: &str, callees: Vec<String>, frame_bytes: u32) -> FnCode {
+        FnCode {
+            name: name.to_string(),
+            asm: vec![AsmInst::Real(Instruction::Jalr {
+                rd: Reg::X0,
+                rs1: Reg::X1,
+                offset: 0,
+            })],
+            frame: FrameLayout {
+                alloca_bytes: frame_bytes,
+                nspills: 0,
+                saved: vec![],
+                nargs: 0,
+                nrets: 0,
+            },
+            callees,
+        }
+    }
+
+    #[test]
+    fn stack_usage_is_longest_path() {
+        let mut codes = BTreeMap::new();
+        codes.insert("a".into(), dummy_code("a", vec!["b".into(), "c".into()], 0));
+        codes.insert("b".into(), dummy_code("b", vec![], 100));
+        codes.insert("c".into(), dummy_code("c", vec![], 40));
+        let opts = CompileOptions {
+            entry: Entry::MainThenHalt { main: "a".into() },
+            ..CompileOptions::default()
+        };
+        let p = link(codes, &opts).unwrap();
+        // a's own frame is 4 bytes (just ra slot), plus max(b, c) rounded:
+        // b = 100 + 4, c = 40 + 4.
+        assert_eq!(p.max_stack_usage, 4 + 104);
+    }
+
+    #[test]
+    fn stack_too_small_is_reported() {
+        let mut codes = BTreeMap::new();
+        codes.insert("main".into(), dummy_code("main", vec![], 1000));
+        let opts = CompileOptions {
+            stack_size: Some(100),
+            ..CompileOptions::default()
+        };
+        assert!(matches!(
+            link(codes, &opts),
+            Err(CompileError::StackTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_entry_is_reported() {
+        let opts = CompileOptions::default();
+        assert!(matches!(
+            link(BTreeMap::new(), &opts),
+            Err(CompileError::BadEntry(name)) if name == "main"
+        ));
+    }
+
+    #[test]
+    fn event_loop_harness_loops_forever() {
+        let mut codes = BTreeMap::new();
+        codes.insert("step".into(), dummy_code("step", vec![], 0));
+        let opts = CompileOptions {
+            entry: Entry::EventLoop {
+                init: None,
+                step: "step".into(),
+            },
+            ..CompileOptions::default()
+        };
+        let p = link(codes, &opts).unwrap();
+        // The harness must contain a backwards jal x0 (the infinite loop).
+        assert!(p
+            .insts
+            .iter()
+            .any(|i| matches!(i, Instruction::Jal { rd, offset } if rd.is_zero() && *offset < 0)));
+        // And no ebreak anywhere.
+        assert!(!p.insts.iter().any(|i| matches!(i, Instruction::Ebreak)));
+    }
+}

@@ -1,0 +1,149 @@
+//! Constant folding and algebraic simplification.
+
+use bedrock2::ast::{BinOp, Expr, Stmt};
+
+/// Folds constants in an expression bottom-up.
+pub fn fold_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::Literal(_) | Expr::Var(_) => e.clone(),
+        Expr::Load(s, a) => Expr::Load(*s, Box::new(fold_expr(a))),
+        Expr::Op(op, a, b) => {
+            let a = fold_expr(a);
+            let b = fold_expr(b);
+            if let (Expr::Literal(x), Expr::Literal(y)) = (&a, &b) {
+                return Expr::Literal(op.eval(*x, *y));
+            }
+            // Algebraic identities on pure subterms (a load must not be
+            // duplicated or dropped unless it is the identity's survivor).
+            match (op, &a, &b) {
+                (BinOp::Add, x, Expr::Literal(0)) => return x.clone(),
+                (BinOp::Add, Expr::Literal(0), x) => return x.clone(),
+                (BinOp::Sub, x, Expr::Literal(0)) => return x.clone(),
+                (BinOp::Mul, x, Expr::Literal(1)) => return x.clone(),
+                (BinOp::Mul, Expr::Literal(1), x) => return x.clone(),
+                (BinOp::Mul, _, Expr::Literal(0)) if a.is_pure() => {
+                    return Expr::Literal(0);
+                }
+                (BinOp::Mul, Expr::Literal(0), _) if b.is_pure() => {
+                    return Expr::Literal(0);
+                }
+                (BinOp::Or, x, Expr::Literal(0)) => return x.clone(),
+                (BinOp::Or, Expr::Literal(0), x) => return x.clone(),
+                (BinOp::Xor, x, Expr::Literal(0)) => return x.clone(),
+                (BinOp::Xor, Expr::Literal(0), x) => return x.clone(),
+                (BinOp::And, _, Expr::Literal(0)) if a.is_pure() => {
+                    return Expr::Literal(0);
+                }
+                (BinOp::And, Expr::Literal(0), _) if b.is_pure() => {
+                    return Expr::Literal(0);
+                }
+                (BinOp::Sru | BinOp::Slu | BinOp::Srs, x, Expr::Literal(0)) => {
+                    return x.clone();
+                }
+                (BinOp::Sub, x, y) if x == y && x.is_pure() => {
+                    return Expr::Literal(0);
+                }
+                (BinOp::Xor, x, y) if x == y && x.is_pure() => {
+                    return Expr::Literal(0);
+                }
+                _ => {}
+            }
+            Expr::Op(*op, Box::new(a), Box::new(b))
+        }
+    }
+}
+
+/// Folds constants in a statement; statically-decided `if`s select their
+/// live branch, and `while (0)` disappears.
+pub fn fold_stmt(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Skip => Stmt::Skip,
+        Stmt::Set(x, e) => Stmt::Set(x.clone(), fold_expr(e)),
+        Stmt::Store(sz, a, v) => Stmt::Store(*sz, fold_expr(a), fold_expr(v)),
+        Stmt::If(c, t, e) => {
+            let c = fold_expr(c);
+            match c {
+                Expr::Literal(0) => fold_stmt(e),
+                Expr::Literal(_) => fold_stmt(t),
+                c => Stmt::If(c, Box::new(fold_stmt(t)), Box::new(fold_stmt(e))),
+            }
+        }
+        Stmt::While(c, b) => {
+            let c = fold_expr(c);
+            match c {
+                Expr::Literal(0) => Stmt::Skip,
+                c => Stmt::While(c, Box::new(fold_stmt(b))),
+            }
+        }
+        Stmt::Block(ss) => {
+            let folded: Vec<Stmt> = ss
+                .iter()
+                .map(fold_stmt)
+                .filter(|s| {
+                    !matches!(s, Stmt::Skip) && !matches!(s, Stmt::Block(v) if v.is_empty())
+                })
+                .collect();
+            match folded.len() {
+                0 => Stmt::Skip,
+                1 => folded.into_iter().next().expect("length checked"),
+                _ => Stmt::Block(folded),
+            }
+        }
+        Stmt::Call(r, f, args) => {
+            Stmt::Call(r.clone(), f.clone(), args.iter().map(fold_expr).collect())
+        }
+        Stmt::Interact(r, a, args) => {
+            Stmt::Interact(r.clone(), a.clone(), args.iter().map(fold_expr).collect())
+        }
+        Stmt::Stackalloc(x, n, b) => Stmt::Stackalloc(x.clone(), *n, Box::new(fold_stmt(b))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bedrock2::dsl::*;
+
+    #[test]
+    fn literal_arithmetic_folds() {
+        assert_eq!(fold_expr(&add(lit(2), lit(3))), lit(5));
+        assert_eq!(fold_expr(&divu(lit(7), lit(0))), lit(u32::MAX));
+        assert_eq!(fold_expr(&mul(add(lit(1), lit(1)), lit(4))), lit(8));
+    }
+
+    #[test]
+    fn identities_simplify() {
+        assert_eq!(fold_expr(&add(var("x"), lit(0))), var("x"));
+        assert_eq!(fold_expr(&mul(var("x"), lit(1))), var("x"));
+        assert_eq!(fold_expr(&mul(var("x"), lit(0))), lit(0));
+        assert_eq!(fold_expr(&sub(var("x"), var("x"))), lit(0));
+        assert_eq!(fold_expr(&xor(var("x"), var("x"))), lit(0));
+    }
+
+    #[test]
+    fn loads_are_never_dropped_by_identities() {
+        // load(p) * 0 must keep the load (its UB/side-conditions matter to
+        // purity-sensitive callers), so no simplification fires.
+        let e = mul(load4(var("p")), lit(0));
+        assert_eq!(fold_expr(&e), e);
+    }
+
+    #[test]
+    fn static_branches_select() {
+        let s = if_(lit(1), set("x", lit(1)), set("x", lit(2)));
+        assert_eq!(fold_stmt(&s), set("x", lit(1)));
+        let s = if_(lit(0), set("x", lit(1)), set("x", lit(2)));
+        assert_eq!(fold_stmt(&s), set("x", lit(2)));
+        let s = while_(lit(0), set("x", lit(1)));
+        assert_eq!(fold_stmt(&s), bedrock2::ast::Stmt::Skip);
+    }
+
+    #[test]
+    fn blocks_collapse() {
+        use bedrock2::ast::Stmt;
+        let s = block([Stmt::Skip, set("x", lit(1)), Stmt::Skip]);
+        assert_eq!(fold_stmt(&s), set("x", lit(1)));
+        let s = block([Stmt::Skip, Stmt::Skip]);
+        assert_eq!(fold_stmt(&s), Stmt::Skip);
+    }
+}

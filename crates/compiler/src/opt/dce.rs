@@ -1,0 +1,180 @@
+//! Dead-store elimination by backward liveness over named variables.
+//!
+//! A `Set` whose destination is not live afterwards and whose right-hand
+//! side is pure (contains no loads, whose out-of-bounds behavior must be
+//! preserved conservatively) is removed.
+
+use bedrock2::ast::{Expr, Stmt};
+use std::collections::HashSet;
+
+fn expr_uses(e: &Expr, live: &mut HashSet<String>) {
+    match e {
+        Expr::Literal(_) => {}
+        Expr::Var(x) => {
+            live.insert(x.clone());
+        }
+        Expr::Load(_, a) => expr_uses(a, live),
+        Expr::Op(_, a, b) => {
+            expr_uses(a, live);
+            expr_uses(b, live);
+        }
+    }
+}
+
+/// Rewrites `s` removing dead pure stores; `live` is the live-variable set
+/// *after* `s` on entry and is updated to the set *before* `s` on return.
+fn dce(s: &Stmt, live: &mut HashSet<String>) -> Stmt {
+    match s {
+        Stmt::Skip => Stmt::Skip,
+        Stmt::Set(x, e) => {
+            if !live.contains(x) && e.is_pure() {
+                return Stmt::Skip;
+            }
+            live.remove(x);
+            expr_uses(e, live);
+            s.clone()
+        }
+        Stmt::Store(_, a, v) => {
+            expr_uses(a, live);
+            expr_uses(v, live);
+            s.clone()
+        }
+        Stmt::If(c, t, e) => {
+            let mut live_t = live.clone();
+            let mut live_e = live.clone();
+            let t = dce(t, &mut live_t);
+            let e = dce(e, &mut live_e);
+            *live = &live_t | &live_e;
+            expr_uses(c, live);
+            Stmt::If(c.clone(), Box::new(t), Box::new(e))
+        }
+        Stmt::While(c, b) => {
+            // Fixpoint for the head-live set, then rewrite the body against
+            // it (conservative: the head set is the body's live-out).
+            let exit = live.clone();
+            let mut head = exit.clone();
+            expr_uses(c, &mut head);
+            loop {
+                let mut probe = head.clone();
+                let _ = dce(b, &mut probe);
+                let mut grown = &head | &probe;
+                expr_uses(c, &mut grown);
+                if grown == head {
+                    break;
+                }
+                head = grown;
+            }
+            let mut body_live = head.clone();
+            let b = dce(b, &mut body_live);
+            *live = head;
+            Stmt::While(c.clone(), Box::new(b))
+        }
+        Stmt::Block(ss) => {
+            let mut out: Vec<Stmt> = ss.iter().rev().map(|s| dce(s, live)).collect();
+            out.reverse();
+            out.retain(|s| !matches!(s, Stmt::Skip));
+            match out.len() {
+                0 => Stmt::Skip,
+                1 => out.into_iter().next().expect("length checked"),
+                _ => Stmt::Block(out),
+            }
+        }
+        Stmt::Call(rets, _, args) | Stmt::Interact(rets, _, args) => {
+            // Calls may have effects (I/O, memory); always kept.
+            for r in rets {
+                live.remove(r);
+            }
+            for a in args {
+                expr_uses(a, live);
+            }
+            s.clone()
+        }
+        Stmt::Stackalloc(x, n, b) => {
+            let b2 = dce(b, live);
+            live.remove(x);
+            Stmt::Stackalloc(x.clone(), *n, Box::new(b2))
+        }
+    }
+}
+
+/// Removes dead pure assignments from a function body with returns `rets`.
+pub fn eliminate_dead(body: &Stmt, rets: &[String]) -> Stmt {
+    let mut live: HashSet<String> = rets.iter().cloned().collect();
+    dce(body, &mut live)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bedrock2::dsl::*;
+
+    fn rets(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn dead_pure_set_is_removed() {
+        let s = block([set("dead", mul(var("x"), lit(3))), set("r", var("x"))]);
+        assert_eq!(eliminate_dead(&s, &rets(&["r"])), set("r", var("x")));
+    }
+
+    #[test]
+    fn loads_are_kept_even_if_dead() {
+        let s = block([set("dead", load4(var("p"))), set("r", var("x"))]);
+        let out = eliminate_dead(&s, &rets(&["r"]));
+        assert_eq!(out, s, "a dead load must be preserved (it can fault)");
+    }
+
+    #[test]
+    fn overwritten_values_are_dead() {
+        let s = block([set("r", lit(1)), set("r", lit(2))]);
+        assert_eq!(eliminate_dead(&s, &rets(&["r"])), set("r", lit(2)));
+    }
+
+    #[test]
+    fn loop_carried_uses_keep_values_alive() {
+        let s = block([
+            set("acc", lit(0)),
+            while_(
+                var("n"),
+                block([
+                    set("acc", add(var("acc"), var("n"))),
+                    set("n", sub(var("n"), lit(1))),
+                ]),
+            ),
+        ]);
+        let out = eliminate_dead(&s, &rets(&["acc"]));
+        assert_eq!(out, s, "loop-carried accumulator must survive");
+    }
+
+    #[test]
+    fn values_dead_after_loop_but_used_inside_survive() {
+        let s = block([
+            set("k", lit(3)),
+            while_(var("n"), set("n", sub(var("n"), var("k")))),
+        ]);
+        let out = eliminate_dead(&s, &rets(&["n"]));
+        assert_eq!(out, s);
+    }
+
+    #[test]
+    fn calls_are_never_removed() {
+        let s = block([interact(&["v"], "MMIOREAD", [lit(0x100)]), set("r", lit(1))]);
+        let out = eliminate_dead(&s, &rets(&["r"]));
+        match out {
+            bedrock2::ast::Stmt::Block(ref ss) => assert_eq!(ss.len(), 2),
+            other => panic!("interact was removed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_liveness_unions() {
+        // x is used only in one branch; its definition must survive.
+        let s = block([
+            set("x", lit(5)),
+            if_(var("c"), set("r", var("x")), set("r", lit(0))),
+        ]);
+        let out = eliminate_dead(&s, &rets(&["r"]));
+        assert_eq!(out, s);
+    }
+}

@@ -1,0 +1,185 @@
+//! Inlining of small leaf functions.
+//!
+//! The paper attributes part of gcc's 2.1× advantage to inlining the SPI
+//! driver call in the innermost polling loop (§7.2.1); this pass performs
+//! exactly that kind of inlining: a call to a function that is small and
+//! makes no further `Call`s is replaced by its body, with the callee's
+//! locals renamed into a fresh namespace.
+
+use bedrock2::ast::{Expr, Function, Program, Stmt};
+
+/// Callee bodies up to this many AST nodes are inlined.
+pub const INLINE_THRESHOLD: usize = 40;
+
+fn rename_expr(e: &Expr, prefix: &str) -> Expr {
+    match e {
+        Expr::Literal(_) => e.clone(),
+        Expr::Var(x) => Expr::Var(format!("{prefix}{x}")),
+        Expr::Load(s, a) => Expr::Load(*s, Box::new(rename_expr(a, prefix))),
+        Expr::Op(o, a, b) => Expr::Op(
+            *o,
+            Box::new(rename_expr(a, prefix)),
+            Box::new(rename_expr(b, prefix)),
+        ),
+    }
+}
+
+fn rename_stmt(s: &Stmt, prefix: &str) -> Stmt {
+    match s {
+        Stmt::Skip => Stmt::Skip,
+        Stmt::Set(x, e) => Stmt::Set(format!("{prefix}{x}"), rename_expr(e, prefix)),
+        Stmt::Store(sz, a, v) => Stmt::Store(*sz, rename_expr(a, prefix), rename_expr(v, prefix)),
+        Stmt::If(c, t, e) => Stmt::If(
+            rename_expr(c, prefix),
+            Box::new(rename_stmt(t, prefix)),
+            Box::new(rename_stmt(e, prefix)),
+        ),
+        Stmt::While(c, b) => Stmt::While(rename_expr(c, prefix), Box::new(rename_stmt(b, prefix))),
+        Stmt::Block(ss) => Stmt::Block(ss.iter().map(|s| rename_stmt(s, prefix)).collect()),
+        Stmt::Call(rets, f, args) => Stmt::Call(
+            rets.iter().map(|r| format!("{prefix}{r}")).collect(),
+            f.clone(),
+            args.iter().map(|a| rename_expr(a, prefix)).collect(),
+        ),
+        Stmt::Interact(rets, action, args) => Stmt::Interact(
+            rets.iter().map(|r| format!("{prefix}{r}")).collect(),
+            action.clone(),
+            args.iter().map(|a| rename_expr(a, prefix)).collect(),
+        ),
+        Stmt::Stackalloc(x, n, b) => {
+            Stmt::Stackalloc(format!("{prefix}{x}"), *n, Box::new(rename_stmt(b, prefix)))
+        }
+    }
+}
+
+fn is_leaf(f: &Function) -> bool {
+    f.body.callees().is_empty()
+}
+
+fn inline_stmt(s: &Stmt, prog: &Program, counter: &mut u32) -> Stmt {
+    match s {
+        Stmt::Call(rets, fname, args) => {
+            let Some(callee) = prog.function(fname) else {
+                return s.clone();
+            };
+            if !is_leaf(callee) || callee.body.size() > INLINE_THRESHOLD {
+                return s.clone();
+            }
+            let prefix = format!("${}${counter}$", callee.name);
+            *counter += 1;
+            let mut stmts = Vec::new();
+            for (p, a) in callee.params.iter().zip(args) {
+                stmts.push(Stmt::Set(format!("{prefix}{p}"), a.clone()));
+            }
+            stmts.push(rename_stmt(&callee.body, &prefix));
+            for (r, cr) in rets.iter().zip(&callee.rets) {
+                stmts.push(Stmt::Set(r.clone(), Expr::Var(format!("{prefix}{cr}"))));
+            }
+            Stmt::Block(stmts)
+        }
+        Stmt::If(c, t, e) => Stmt::If(
+            c.clone(),
+            Box::new(inline_stmt(t, prog, counter)),
+            Box::new(inline_stmt(e, prog, counter)),
+        ),
+        Stmt::While(c, b) => Stmt::While(c.clone(), Box::new(inline_stmt(b, prog, counter))),
+        Stmt::Block(ss) => Stmt::Block(ss.iter().map(|s| inline_stmt(s, prog, counter)).collect()),
+        Stmt::Stackalloc(x, n, b) => {
+            Stmt::Stackalloc(x.clone(), *n, Box::new(inline_stmt(b, prog, counter)))
+        }
+        _ => s.clone(),
+    }
+}
+
+/// Inlines small leaf callees throughout the program. Runs two rounds so
+/// that a function that became a leaf by inlining can itself be inlined.
+pub fn inline_program(p: &Program) -> Program {
+    let mut prog = p.clone();
+    for _ in 0..2 {
+        let snapshot = prog.clone();
+        let mut counter = 0;
+        for f in prog.functions.values_mut() {
+            f.body = inline_stmt(&f.body, &snapshot, &mut counter);
+        }
+    }
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bedrock2::dsl::*;
+    use bedrock2::semantics::{Interp, NoExt};
+    use riscv_spec::Memory;
+
+    #[test]
+    fn leaf_call_is_inlined_and_behavior_preserved() {
+        let bump = Function::new("bump", &["x"], &["y"], set("y", add(var("x"), lit(1))));
+        let main = Function::new(
+            "main",
+            &["a"],
+            &["r"],
+            block([
+                call(&["t"], "bump", [var("a")]),
+                call(&["r"], "bump", [var("t")]),
+            ]),
+        );
+        let p = Program::from_functions([bump, main]);
+        let q = inline_program(&p);
+        assert!(
+            q.functions["main"].body.callees().is_empty(),
+            "calls should be gone: {:?}",
+            q.functions["main"].body
+        );
+        let mut pi = Interp::new(&p, Memory::with_size(64), NoExt);
+        let mut qi = Interp::new(&q, Memory::with_size(64), NoExt);
+        assert_eq!(
+            pi.call("main", &[5]).unwrap(),
+            qi.call("main", &[5]).unwrap()
+        );
+    }
+
+    #[test]
+    fn local_name_clashes_are_avoided() {
+        // Callee uses a local named like the caller's; inlining must rename.
+        let f = Function::new("sq", &["t"], &["t"], set("t", mul(var("t"), var("t"))));
+        let main = Function::new(
+            "main",
+            &["t"],
+            &["r"],
+            block([
+                call(&["u"], "sq", [lit(3)]),
+                set("r", add(var("u"), var("t"))),
+            ]),
+        );
+        let p = Program::from_functions([f, main]);
+        let q = inline_program(&p);
+        let mut qi = Interp::new(&q, Memory::with_size(64), NoExt);
+        assert_eq!(qi.call("main", &[10]).unwrap(), vec![19]);
+    }
+
+    #[test]
+    fn large_functions_are_not_inlined() {
+        let mut big = Vec::new();
+        for i in 0..INLINE_THRESHOLD + 1 {
+            big.push(set("y", add(var("y"), lit(i as u32))));
+        }
+        let f = Function::new("big", &["y"], &["y"], block(big));
+        let main = Function::new("main", &[], &["r"], call(&["r"], "big", [lit(0)]));
+        let p = Program::from_functions([f, main]);
+        let q = inline_program(&p);
+        assert_eq!(q.functions["main"].body.callees(), vec!["big"]);
+    }
+
+    #[test]
+    fn two_rounds_reach_grandchildren() {
+        let leaf = Function::new("leaf", &["x"], &["y"], set("y", add(var("x"), lit(1))));
+        let mid = Function::new("mid", &["x"], &["y"], call(&["y"], "leaf", [var("x")]));
+        let main = Function::new("main", &[], &["r"], call(&["r"], "mid", [lit(40)]));
+        let p = Program::from_functions([leaf, mid, main]);
+        let q = inline_program(&p);
+        assert!(q.functions["main"].body.callees().is_empty());
+        let mut qi = Interp::new(&q, Memory::with_size(64), NoExt);
+        assert_eq!(qi.call("main", &[]).unwrap(), vec![41]);
+    }
+}

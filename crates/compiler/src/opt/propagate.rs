@@ -1,0 +1,244 @@
+//! Constant and copy propagation.
+//!
+//! Tracks, through straight-line code, which variables currently hold a
+//! known constant or are aliases of another variable, substituting those
+//! facts into later expressions. Control-flow joins intersect the known
+//! facts; loops kill every variable their body may assign.
+
+use bedrock2::ast::{Expr, Stmt};
+use std::collections::HashMap;
+
+/// What we know about a variable at a program point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Fact {
+    Const(u32),
+    Alias(String),
+}
+
+type Env = HashMap<String, Fact>;
+
+/// Substitutes known facts into an expression (without folding; the
+/// constant-folding pass runs afterwards).
+fn subst(e: &Expr, env: &Env) -> Expr {
+    match e {
+        Expr::Literal(_) => e.clone(),
+        Expr::Var(x) => match env.get(x) {
+            Some(Fact::Const(c)) => Expr::Literal(*c),
+            Some(Fact::Alias(y)) => Expr::Var(y.clone()),
+            None => e.clone(),
+        },
+        Expr::Load(s, a) => Expr::Load(*s, Box::new(subst(a, env))),
+        Expr::Op(o, a, b) => Expr::Op(*o, Box::new(subst(a, env)), Box::new(subst(b, env))),
+    }
+}
+
+/// Removes `x` from the environment, including any aliases *of* `x`.
+fn kill(env: &mut Env, x: &str) {
+    env.remove(x);
+    env.retain(|_, f| !matches!(f, Fact::Alias(y) if y == x));
+}
+
+/// Variables a statement may assign.
+fn assigned(s: &Stmt, out: &mut Vec<String>) {
+    match s {
+        Stmt::Set(x, _) => out.push(x.clone()),
+        Stmt::If(_, t, e) => {
+            assigned(t, out);
+            assigned(e, out);
+        }
+        Stmt::While(_, b) => assigned(b, out),
+        Stmt::Block(ss) => ss.iter().for_each(|s| assigned(s, out)),
+        Stmt::Call(rets, _, _) | Stmt::Interact(rets, _, _) => out.extend(rets.iter().cloned()),
+        Stmt::Stackalloc(x, _, b) => {
+            out.push(x.clone());
+            assigned(b, out);
+        }
+        _ => {}
+    }
+}
+
+fn intersect(a: &Env, b: &Env) -> Env {
+    a.iter()
+        .filter(|(k, v)| b.get(*k) == Some(*v))
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect()
+}
+
+fn prop(s: &Stmt, env: &mut Env) -> Stmt {
+    match s {
+        Stmt::Skip => Stmt::Skip,
+        Stmt::Set(x, e) => {
+            let e = subst(e, env);
+            kill(env, x);
+            match &e {
+                Expr::Literal(c) => {
+                    env.insert(x.clone(), Fact::Const(*c));
+                }
+                Expr::Var(y) if y != x => {
+                    env.insert(x.clone(), Fact::Alias(y.clone()));
+                }
+                _ => {}
+            }
+            Stmt::Set(x.clone(), e)
+        }
+        Stmt::Store(sz, a, v) => Stmt::Store(*sz, subst(a, env), subst(v, env)),
+        Stmt::If(c, t, e) => {
+            let c = subst(c, env);
+            let mut env_t = env.clone();
+            let mut env_e = env.clone();
+            let t = prop(t, &mut env_t);
+            let e = prop(e, &mut env_e);
+            *env = intersect(&env_t, &env_e);
+            Stmt::If(c, Box::new(t), Box::new(e))
+        }
+        Stmt::While(c, b) => {
+            // Facts about variables the body may assign do not survive the
+            // back edge; kill them before touching the condition or body.
+            let mut killed = Vec::new();
+            assigned(b, &mut killed);
+            for x in &killed {
+                kill(env, x);
+            }
+            let c = subst(c, env);
+            let mut env_b = env.clone();
+            let b = prop(b, &mut env_b);
+            Stmt::While(c, Box::new(b))
+        }
+        Stmt::Block(ss) => Stmt::Block(ss.iter().map(|s| prop(s, env)).collect()),
+        Stmt::Call(rets, f, args) => {
+            let args = args.iter().map(|a| subst(a, env)).collect();
+            for r in rets {
+                kill(env, r);
+            }
+            Stmt::Call(rets.clone(), f.clone(), args)
+        }
+        Stmt::Interact(rets, action, args) => {
+            let args = args.iter().map(|a| subst(a, env)).collect();
+            for r in rets {
+                kill(env, r);
+            }
+            Stmt::Interact(rets.clone(), action.clone(), args)
+        }
+        Stmt::Stackalloc(x, n, b) => {
+            kill(env, x);
+            let b = prop(b, env);
+            // The buffer address is only valid inside the body's scope;
+            // conservatively forget everything the body established about x.
+            kill(env, x);
+            Stmt::Stackalloc(x.clone(), *n, Box::new(b))
+        }
+    }
+}
+
+/// Runs constant/copy propagation over a statement.
+pub fn propagate_stmt(s: &Stmt) -> Stmt {
+    let mut env = Env::new();
+    prop(s, &mut env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bedrock2::dsl::*;
+
+    #[test]
+    fn constants_flow_forward() {
+        let s = block([set("a", lit(5)), set("b", add(var("a"), lit(1)))]);
+        let out = propagate_stmt(&s);
+        assert_eq!(
+            out,
+            block([set("a", lit(5)), set("b", add(lit(5), lit(1)))])
+        );
+    }
+
+    #[test]
+    fn copies_flow_forward() {
+        let s = block([set("a", var("x")), set("b", add(var("a"), var("a")))]);
+        let out = propagate_stmt(&s);
+        assert_eq!(
+            out,
+            block([set("a", var("x")), set("b", add(var("x"), var("x")))])
+        );
+    }
+
+    #[test]
+    fn reassignment_kills_facts_and_aliases() {
+        // a = x; x = 1; b = a   — a must NOT become x (x changed).
+        let s = block([set("a", var("x")), set("x", lit(1)), set("b", var("a"))]);
+        let out = propagate_stmt(&s);
+        assert_eq!(
+            out,
+            block([set("a", var("x")), set("x", lit(1)), set("b", var("a"))])
+        );
+    }
+
+    #[test]
+    fn if_joins_intersect() {
+        // a known 1 on both branches survives; b differs and is dropped.
+        let s = block([
+            if_(
+                var("c"),
+                block([set("a", lit(1)), set("b", lit(2))]),
+                block([set("a", lit(1)), set("b", lit(3))]),
+            ),
+            set("r", add(var("a"), var("b"))),
+        ]);
+        let out = propagate_stmt(&s);
+        match out {
+            bedrock2::ast::Stmt::Block(ref ss) => {
+                assert_eq!(ss[1], set("r", add(lit(1), var("b"))));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_bodies_kill_their_assignments() {
+        // n is assigned in the loop, so its entry constant must not be
+        // substituted into the condition or body.
+        let s = block([
+            set("n", lit(3)),
+            while_(var("n"), set("n", sub(var("n"), lit(1)))),
+            set("r", var("n")),
+        ]);
+        let out = propagate_stmt(&s);
+        match out {
+            bedrock2::ast::Stmt::Block(ref ss) => {
+                assert_eq!(ss[1], while_(var("n"), set("n", sub(var("n"), lit(1)))));
+                assert_eq!(ss[2], set("r", var("n")));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_invariant_constants_do_propagate() {
+        let s = block([
+            set("k", lit(7)),
+            while_(var("n"), set("n", sub(var("n"), var("k")))),
+        ]);
+        let out = propagate_stmt(&s);
+        match out {
+            bedrock2::ast::Stmt::Block(ref ss) => {
+                assert_eq!(ss[1], while_(var("n"), set("n", sub(var("n"), lit(7)))));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn external_call_results_are_unknown() {
+        let s = block([
+            set("v", lit(1)),
+            interact(&["v"], "MMIOREAD", [lit(0x100)]),
+            set("r", var("v")),
+        ]);
+        let out = propagate_stmt(&s);
+        match out {
+            bedrock2::ast::Stmt::Block(ref ss) => {
+                assert_eq!(ss[2], set("r", var("v")));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+}

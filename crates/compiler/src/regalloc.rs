@@ -1,0 +1,424 @@
+//! Phase 2: register allocation.
+//!
+//! Turns "FlatImp with variables" into "FlatImp with registers" by
+//! computing liveness over the structured control flow, building an
+//! interference graph, and coloring it with the allocatable registers;
+//! variables that do not fit are spilled to numbered stack slots which the
+//! code generator addresses off `sp`.
+//!
+//! The allocator is deliberately simple (the paper's compiler "does not …
+//! exploit caller-saved registers", §7.2.1): every allocatable register is
+//! callee-saved, so liveness does not need to model call clobbering, and
+//! correctness reduces to the classic condition that simultaneously-live
+//! variables get distinct locations — which [`verify_allocation`] rechecks
+//! after the fact, and property tests check on random programs.
+
+use crate::flatimp::{FStmt, FlatFunction, FlatVar};
+use riscv_spec::Reg;
+use std::collections::{HashMap, HashSet};
+
+/// Registers handed out by the allocator: `x8`–`x31`.
+///
+/// `x0` is zero, `x1`/`x2` are `ra`/`sp`, `x3`/`x4` are left unused (they
+/// are `gp`/`tp` in the standard ABI), and `x5`–`x7` are reserved as code
+/// generator scratch registers.
+pub fn allocatable_registers() -> Vec<Reg> {
+    (8..32).map(Reg::new).collect()
+}
+
+/// A machine location assigned to a FlatImp variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// A register.
+    Reg(Reg),
+    /// The `index`-th word-sized spill slot in the function's frame.
+    Spill(u32),
+}
+
+/// The result of allocating one function.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// Location of each variable, indexed by [`FlatVar`].
+    pub map: Vec<Loc>,
+    /// Number of spill slots used.
+    pub nspills: u32,
+    /// Registers actually used, in ascending order (the prologue saves
+    /// exactly these).
+    pub used_regs: Vec<Reg>,
+}
+
+impl Allocation {
+    /// The location of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the allocated function.
+    pub fn loc(&self, v: FlatVar) -> Loc {
+        self.map[v as usize]
+    }
+}
+
+/// Interference-graph construction via backward liveness.
+struct Analysis {
+    edges: HashMap<FlatVar, HashSet<FlatVar>>,
+}
+
+impl Analysis {
+    fn new(nvars: u32) -> Analysis {
+        Analysis {
+            edges: (0..nvars).map(|v| (v, HashSet::new())).collect(),
+        }
+    }
+
+    fn interfere(&mut self, a: FlatVar, b: FlatVar) {
+        if a != b {
+            self.edges.entry(a).or_default().insert(b);
+            self.edges.entry(b).or_default().insert(a);
+        }
+    }
+
+    fn def(&mut self, d: FlatVar, live: &mut HashSet<FlatVar>, except: Option<FlatVar>) {
+        for &l in live.iter() {
+            if Some(l) != except {
+                self.interfere(d, l);
+            }
+        }
+        live.remove(&d);
+    }
+
+    /// Backward transfer: given variables live *after* `s`, returns the set
+    /// live *before* it, recording interference at each definition point.
+    fn live_in(&mut self, s: &FStmt<FlatVar>, out: &HashSet<FlatVar>) -> HashSet<FlatVar> {
+        let mut live = out.clone();
+        self.transfer(s, &mut live);
+        live
+    }
+
+    fn transfer(&mut self, s: &FStmt<FlatVar>, live: &mut HashSet<FlatVar>) {
+        match s {
+            FStmt::Skip => {}
+            FStmt::Lit { dest, .. } => self.def(*dest, live, None),
+            FStmt::Copy { dest, src } => {
+                self.def(*dest, live, Some(*src));
+                live.insert(*src);
+            }
+            FStmt::Op { dest, a, b, .. } => {
+                self.def(*dest, live, None);
+                live.insert(*a);
+                live.insert(*b);
+            }
+            FStmt::Load { dest, addr, .. } => {
+                self.def(*dest, live, None);
+                live.insert(*addr);
+            }
+            FStmt::Store { addr, value, .. } => {
+                live.insert(*addr);
+                live.insert(*value);
+            }
+            FStmt::If { cond, then_, else_ } => {
+                let t = self.live_in(then_, live);
+                let e = self.live_in(else_, live);
+                *live = &t | &e;
+                live.insert(*cond);
+            }
+            FStmt::Loop {
+                cond_stmts,
+                cond,
+                body,
+            } => {
+                // Fixpoint: the head set only grows, so this terminates.
+                let exit = live.clone();
+                let mut head: HashSet<FlatVar> = HashSet::new();
+                loop {
+                    let body_in = self.live_in(body, &head);
+                    let mut after_cond = &exit | &body_in;
+                    after_cond.insert(*cond);
+                    let new_head = self.live_in(cond_stmts, &after_cond);
+                    let grown: HashSet<FlatVar> = &head | &new_head;
+                    if grown == head {
+                        break;
+                    }
+                    head = grown;
+                }
+                *live = head;
+            }
+            FStmt::Seq(ss) => {
+                for s in ss.iter().rev() {
+                    self.transfer(s, live);
+                }
+            }
+            FStmt::Call { rets, args, .. } | FStmt::Interact { rets, args, .. } => {
+                // All results are written "simultaneously" by the return
+                // sequence, so they interfere pairwise as well.
+                for (i, r) in rets.iter().enumerate() {
+                    for r2 in &rets[i + 1..] {
+                        self.interfere(*r, *r2);
+                    }
+                }
+                for r in rets {
+                    self.def(*r, live, None);
+                    // def() removed r; other rets stay conceptually live
+                    // during the return move sequence:
+                }
+                for (i, r) in rets.iter().enumerate() {
+                    for r2 in &rets[i + 1..] {
+                        self.interfere(*r, *r2);
+                    }
+                }
+                for a in args {
+                    live.insert(*a);
+                }
+            }
+            FStmt::Stackalloc { dest, body, .. } => {
+                self.transfer(body, live);
+                self.def(*dest, live, None);
+            }
+        }
+    }
+}
+
+/// The prologue writes *every* parameter from its argument slot, whether or
+/// not the body reads it — so parameters must interfere pairwise and with
+/// everything live at entry (a dead parameter sharing a live one's register
+/// would be clobbered by its own incoming load).
+fn entry_clique(an: &mut Analysis, f: &FlatFunction<FlatVar>, entry_live: &HashSet<FlatVar>) {
+    let mut entry: Vec<FlatVar> = entry_live.iter().copied().collect();
+    for p in &f.params {
+        if !entry.contains(p) {
+            entry.push(*p);
+        }
+    }
+    for (i, a) in entry.iter().enumerate() {
+        for b in &entry[i + 1..] {
+            an.interfere(*a, *b);
+        }
+    }
+}
+
+/// Allocates registers for one function.
+pub fn allocate(f: &FlatFunction<FlatVar>) -> Allocation {
+    let regs = allocatable_registers();
+    let k = regs.len();
+    let mut an = Analysis::new(f.nvars);
+
+    // At the end of the function all return variables are read.
+    let out: HashSet<FlatVar> = f.rets.iter().copied().collect();
+    let entry_live = an.live_in(&f.body, &out);
+    entry_clique(&mut an, f, &entry_live);
+
+    // Chaitin-style simplification.
+    let mut degree: HashMap<FlatVar, usize> = an.edges.iter().map(|(v, e)| (*v, e.len())).collect();
+    let mut removed: HashSet<FlatVar> = HashSet::new();
+    let mut stack: Vec<FlatVar> = Vec::new();
+    while removed.len() < f.nvars as usize {
+        let pick_low = (0..f.nvars).find(|v| !removed.contains(v) && degree[v] < k);
+        let v = match pick_low {
+            Some(v) => v,
+            // No low-degree node: remove the highest-degree one; it becomes
+            // a spill candidate when no color is free at selection time.
+            None => (0..f.nvars)
+                .filter(|v| !removed.contains(v))
+                .max_by_key(|v| degree[v])
+                .expect("loop condition guarantees a node remains"),
+        };
+        removed.insert(v);
+        stack.push(v);
+        for n in &an.edges[&v] {
+            if !removed.contains(n) {
+                *degree.get_mut(n).expect("all nodes pre-inserted") -= 1;
+            }
+        }
+    }
+
+    // Selection.
+    let mut map: Vec<Option<Loc>> = vec![None; f.nvars as usize];
+    let mut nspills = 0u32;
+    for v in stack.into_iter().rev() {
+        let neighbor_regs: HashSet<Reg> = an.edges[&v]
+            .iter()
+            .filter_map(|n| match map[*n as usize] {
+                Some(Loc::Reg(r)) => Some(r),
+                _ => None,
+            })
+            .collect();
+        let free = regs.iter().find(|r| !neighbor_regs.contains(r));
+        map[v as usize] = Some(match free {
+            Some(r) => Loc::Reg(*r),
+            None => {
+                let slot = nspills;
+                nspills += 1;
+                Loc::Spill(slot)
+            }
+        });
+    }
+
+    let map: Vec<Loc> = map
+        .into_iter()
+        .map(|l| l.expect("all vars selected"))
+        .collect();
+    let mut used: Vec<Reg> = map
+        .iter()
+        .filter_map(|l| match l {
+            Loc::Reg(r) => Some(*r),
+            _ => None,
+        })
+        .collect();
+    used.sort();
+    used.dedup();
+    Allocation {
+        map,
+        nspills,
+        used_regs: used,
+    }
+}
+
+/// A degenerate allocation that spills **every** variable to the stack,
+/// using no allocatable registers at all. This is the ablation point for
+/// the register-allocation design choice the paper calls out implementing
+/// (§7.2): comparing against [`allocate`] quantifies what the allocator
+/// buys. It is also the hardest exercise of the code generator's spill
+/// paths, so the differential tests run it too.
+pub fn allocate_spill_all(f: &FlatFunction<FlatVar>) -> Allocation {
+    Allocation {
+        map: (0..f.nvars).map(Loc::Spill).collect(),
+        nspills: f.nvars,
+        used_regs: Vec::new(),
+    }
+}
+
+/// Rewrites a function over numbered variables into one over machine
+/// locations ("FlatImp with registers").
+pub fn apply_allocation(f: &FlatFunction<FlatVar>, alloc: &Allocation) -> FlatFunction<Loc> {
+    FlatFunction {
+        name: f.name.clone(),
+        params: f.params.iter().map(|v| alloc.loc(*v)).collect(),
+        rets: f.rets.iter().map(|v| alloc.loc(*v)).collect(),
+        body: f.body.map_vars(&mut |v| alloc.loc(*v)),
+        nvars: f.nvars,
+    }
+}
+
+/// Independently rechecks an allocation: recomputes interference and
+/// verifies that no interfering pair shares a location.
+///
+/// # Errors
+///
+/// Returns a description of the first conflict found.
+pub fn verify_allocation(f: &FlatFunction<FlatVar>, alloc: &Allocation) -> Result<(), String> {
+    let mut an = Analysis::new(f.nvars);
+    let out: HashSet<FlatVar> = f.rets.iter().copied().collect();
+    let entry_live = an.live_in(&f.body, &out);
+    entry_clique(&mut an, f, &entry_live);
+    for (v, ns) in &an.edges {
+        for n in ns {
+            if alloc.loc(*v) == alloc.loc(*n) {
+                return Err(format!(
+                    "variables {v} and {n} interfere but share {:?}",
+                    alloc.loc(*v)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flatten::flatten_function;
+    use bedrock2::ast::Function;
+    use bedrock2::dsl::*;
+
+    fn alloc_of(f: Function) -> (crate::flatimp::FlatFunction<FlatVar>, Allocation) {
+        let ff = flatten_function(&f);
+        let a = allocate(&ff);
+        verify_allocation(&ff, &a).expect("allocation must verify");
+        (ff, a)
+    }
+
+    #[test]
+    fn simple_function_needs_few_registers() {
+        let (_, a) = alloc_of(Function::new(
+            "f",
+            &["x", "y"],
+            &["r"],
+            set("r", add(var("x"), var("y"))),
+        ));
+        assert_eq!(a.nspills, 0);
+        assert!(a.used_regs.len() <= 4);
+    }
+
+    #[test]
+    fn interfering_vars_get_distinct_registers() {
+        let (ff, a) = alloc_of(Function::new(
+            "f",
+            &["x", "y"],
+            &["r"],
+            block([
+                set("a", add(var("x"), lit(1))),
+                set("b", add(var("y"), lit(2))),
+                set("r", add(mul(var("a"), var("a")), mul(var("b"), var("b")))),
+            ]),
+        ));
+        // a and b are simultaneously live.
+        assert!(verify_allocation(&ff, &a).is_ok());
+        assert_eq!(a.nspills, 0);
+    }
+
+    #[test]
+    fn loop_carried_variables_stay_live() {
+        let (_, a) = alloc_of(Function::new(
+            "f",
+            &["n"],
+            &["s"],
+            block([
+                set("s", lit(0)),
+                while_(
+                    var("n"),
+                    block([
+                        set("s", add(var("s"), var("n"))),
+                        set("n", sub(var("n"), lit(1))),
+                    ]),
+                ),
+            ]),
+        ));
+        assert_eq!(a.nspills, 0);
+    }
+
+    #[test]
+    fn high_pressure_spills_but_verifies() {
+        // Build 30 simultaneously-live variables, exceeding the 24
+        // allocatable registers.
+        let mut stmts = Vec::new();
+        for i in 0..30 {
+            stmts.push(set(&format!("v{i}"), add(var("x"), lit(i))));
+        }
+        let mut sum = var("v0");
+        for i in 1..30 {
+            sum = add(sum, var(&format!("v{i}")));
+        }
+        stmts.push(set("r", sum));
+        let (_, a) = alloc_of(Function::new("f", &["x"], &["r"], block(stmts)));
+        assert!(a.nspills > 0, "expected spills under high pressure");
+    }
+
+    #[test]
+    fn copy_related_vars_may_share_a_register() {
+        // y = x; return y — x and y may share a location (no interference
+        // through the copy).
+        let (ff, a) = alloc_of(Function::new("f", &["x"], &["y"], set("y", var("x"))));
+        assert!(verify_allocation(&ff, &a).is_ok());
+    }
+
+    #[test]
+    fn allocatable_registers_exclude_reserved() {
+        let regs = allocatable_registers();
+        assert_eq!(regs.len(), 24);
+        for r in &regs {
+            assert!(
+                r.index() >= 8,
+                "reserved register {r} must not be allocatable"
+            );
+        }
+    }
+}

@@ -1,0 +1,738 @@
+//! Phase 3: code generation from "FlatImp with registers" to RV32IM.
+//!
+//! Generated code is position independent (all control flow is pc-relative,
+//! as in the paper, §5.3) and uses a simple stack discipline:
+//!
+//! ```text
+//! caller sp ──────────────────────────┐ (high addresses)
+//!   ret j   at  F − 4·n_rets + 4·j    │ written by callee epilogue
+//!   arg i   at  F − 4·(n_args+n_rets) + 4·i   written by caller
+//!   ra      at  A + 4·(n_spills + n_saved)
+//!   saved m at  A + 4·n_spills + 4·m  │ callee-saved registers
+//!   spill k at  A + 4·k               │ register-allocator spill slots
+//!   stackalloc area  [0, A)           │ one disjoint region per site
+//! callee sp ──────────────────────────┘ (after the prologue)
+//! ```
+//!
+//! where `F` is the frame size. Every allocatable register is callee-saved
+//! (the paper's compiler "does not … exploit caller-saved registers",
+//! §7.2.1), so a call preserves all caller state except `ra`, which the
+//! caller's own prologue already saved. Because frame sizes are static and
+//! recursion is rejected, the total stack requirement of a program is a
+//! static quantity — computed in [`crate::link`] — which is how this
+//! compiler, like the paper's, can promise the application never runs out
+//! of memory.
+
+use crate::flatimp::{FStmt, FlatFunction};
+use crate::regalloc::Loc;
+use bedrock2::ast::{BinOp, Size};
+use riscv_spec::{Instruction, Reg};
+use std::fmt;
+
+/// Scratch register for the first operand / general temporaries.
+pub const T0: Reg = Reg::X5;
+/// Scratch register for the second operand.
+pub const T1: Reg = Reg::X6;
+/// Scratch register for destinations that live in spill slots.
+pub const T2: Reg = Reg::X7;
+
+/// Compilation errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// A call targets a function that is not part of the program.
+    UnknownFunction(String),
+    /// The program contains (mutual) recursion, which the static stack
+    /// discipline cannot support.
+    Recursion(String),
+    /// A function's frame exceeds what the prologue addressing supports.
+    FrameTooLarge {
+        /// The offending function.
+        function: String,
+        /// Its frame size in bytes.
+        size: u32,
+    },
+    /// The external-calls compiler does not know this action.
+    UnsupportedExternal(String),
+    /// The program's worst-case stack usage exceeds the configured region.
+    StackTooSmall {
+        /// Bytes required in the worst case.
+        required: u32,
+        /// Bytes available.
+        available: u32,
+    },
+    /// The entry function named in the options does not exist or has the
+    /// wrong signature (entry functions take no parameters).
+    BadEntry(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use CompileError::*;
+        match self {
+            UnknownFunction(n) => write!(f, "call to unknown function '{n}'"),
+            Recursion(n) => write!(f, "recursion through '{n}' is not supported"),
+            FrameTooLarge { function, size } => {
+                write!(f, "frame of '{function}' is too large ({size} bytes)")
+            }
+            UnsupportedExternal(a) => write!(f, "no external-calls compiler for '{a}'"),
+            StackTooSmall {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "stack requires {required} bytes but only {available} are available"
+                )
+            }
+            BadEntry(n) => write!(f, "bad entry function '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// An intra-function label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(pub u32);
+
+/// Assembly with unresolved control flow, produced per function and
+/// resolved by [`crate::link`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmInst {
+    /// A fully-formed instruction.
+    Real(Instruction),
+    /// `bne rs, x0, +8`: skip exactly the following instruction when
+    /// `rs != 0`. Paired with [`AsmInst::Jump`] this yields long-range
+    /// conditional branches without ±4 KiB range worries.
+    SkipIfNonZero {
+        /// Register tested against zero.
+        rs: Reg,
+    },
+    /// `beq rs, x0, +8`: skip the following instruction when `rs == 0`.
+    SkipIfZero {
+        /// Register tested against zero.
+        rs: Reg,
+    },
+    /// `jal x0, label` (resolved at link time).
+    Jump {
+        /// Branch target.
+        label: Label,
+    },
+    /// `jal ra, <function>` (resolved at link time).
+    CallFn {
+        /// Callee name.
+        name: String,
+    },
+    /// A label definition; occupies no space.
+    LabelDef(Label),
+}
+
+/// Frame geometry of one compiled function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrameLayout {
+    /// Total bytes of `stackalloc` regions.
+    pub alloca_bytes: u32,
+    /// Number of spill slots.
+    pub nspills: u32,
+    /// Callee-saved registers this function uses.
+    pub saved: Vec<Reg>,
+    /// Number of parameters.
+    pub nargs: u32,
+    /// Number of results.
+    pub nrets: u32,
+}
+
+impl FrameLayout {
+    /// Byte offset of spill slot `k` from the callee `sp`.
+    pub fn spill_off(&self, k: u32) -> i32 {
+        (self.alloca_bytes + 4 * k) as i32
+    }
+
+    /// Byte offset of the `m`-th saved register.
+    pub fn saved_off(&self, m: u32) -> i32 {
+        (self.alloca_bytes + 4 * self.nspills + 4 * m) as i32
+    }
+
+    /// Byte offset of the saved return address.
+    pub fn ra_off(&self) -> i32 {
+        (self.alloca_bytes + 4 * self.nspills + 4 * self.saved.len() as u32) as i32
+    }
+
+    /// Byte offset of incoming argument `i`.
+    pub fn arg_off(&self, i: u32) -> i32 {
+        (self.size() - 4 * (self.nargs + self.nrets) + 4 * i) as i32
+    }
+
+    /// Byte offset of outgoing result `j`.
+    pub fn ret_off(&self, j: u32) -> i32 {
+        (self.size() - 4 * self.nrets + 4 * j) as i32
+    }
+
+    /// Total frame size in bytes.
+    pub fn size(&self) -> u32 {
+        self.alloca_bytes
+            + 4 * (self.nspills + self.saved.len() as u32 + 1 + self.nargs + self.nrets)
+    }
+}
+
+/// One function's generated code.
+#[derive(Clone, Debug)]
+pub struct FnCode {
+    /// The function's name.
+    pub name: String,
+    /// Unresolved assembly.
+    pub asm: Vec<AsmInst>,
+    /// Frame geometry (used by the linker's stack-usage analysis).
+    pub frame: FrameLayout,
+    /// Names of functions this one calls.
+    pub callees: Vec<String>,
+}
+
+/// The external-calls compiler parameter (§6.3): how to realize each
+/// `Interact` as machine code. The main compiler is proven/tested correct
+/// for *any* implementation that meets the obvious contract: it reads the
+/// argument locations, writes the result locations, touches only scratch
+/// registers, and performs only the I/O its specification allows.
+pub trait ExtCallCompiler {
+    /// Emits code for one external call.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::UnsupportedExternal`] for unknown actions.
+    fn compile_ext(
+        &self,
+        action: &str,
+        args: &[Loc],
+        rets: &[Loc],
+        ctx: &mut ExtEmitter<'_>,
+    ) -> Result<(), CompileError>;
+}
+
+/// The lightbulb instantiation of the external-calls compiler: `MMIOREAD`
+/// becomes `lw` and `MMIOWRITE` becomes `sw` (§6.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MmioExtCompiler;
+
+impl ExtCallCompiler for MmioExtCompiler {
+    fn compile_ext(
+        &self,
+        action: &str,
+        args: &[Loc],
+        rets: &[Loc],
+        ctx: &mut ExtEmitter<'_>,
+    ) -> Result<(), CompileError> {
+        match (action, args, rets) {
+            ("MMIOREAD", [addr], [ret]) => {
+                let a = ctx.read(*addr, T0);
+                ctx.emit(Instruction::Lw {
+                    rd: T1,
+                    rs1: a,
+                    offset: 0,
+                });
+                ctx.write(*ret, T1);
+                Ok(())
+            }
+            ("MMIOWRITE", [addr, value], []) => {
+                let a = ctx.read(*addr, T0);
+                let v = ctx.read(*value, T1);
+                ctx.emit(Instruction::Sw {
+                    rs1: a,
+                    rs2: v,
+                    offset: 0,
+                });
+                Ok(())
+            }
+            _ => Err(CompileError::UnsupportedExternal(action.to_string())),
+        }
+    }
+}
+
+/// An external-calls compiler for pure computation programs: rejects every
+/// action.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoExtCompiler;
+
+impl ExtCallCompiler for NoExtCompiler {
+    fn compile_ext(
+        &self,
+        action: &str,
+        _args: &[Loc],
+        _rets: &[Loc],
+        _ctx: &mut ExtEmitter<'_>,
+    ) -> Result<(), CompileError> {
+        Err(CompileError::UnsupportedExternal(action.to_string()))
+    }
+}
+
+struct FnCodegen {
+    asm: Vec<AsmInst>,
+    next_label: u32,
+    frame: FrameLayout,
+    alloca_cursor: u32,
+    callees: Vec<String>,
+}
+
+/// The limited code-emission interface handed to [`ExtCallCompiler`]
+/// implementations.
+pub struct ExtEmitter<'a>(&'a mut FnCodegen);
+
+impl ExtEmitter<'_> {
+    /// Emits one instruction.
+    pub fn emit(&mut self, inst: Instruction) {
+        self.0.emit(inst);
+    }
+
+    /// Materializes `loc` into a register: returns the register directly
+    /// for register locations, or loads the spill slot into `scratch`.
+    pub fn read(&mut self, loc: Loc, scratch: Reg) -> Reg {
+        self.0.read(loc, scratch)
+    }
+
+    /// Stores register `from` into `loc` (move or spill store).
+    pub fn write(&mut self, loc: Loc, from: Reg) {
+        self.0.write_end(loc, from);
+    }
+}
+
+impl FnCodegen {
+    fn emit(&mut self, inst: Instruction) {
+        self.asm.push(AsmInst::Real(inst));
+    }
+
+    fn fresh_label(&mut self) -> Label {
+        self.next_label += 1;
+        Label(self.next_label - 1)
+    }
+
+    fn label(&mut self, l: Label) {
+        self.asm.push(AsmInst::LabelDef(l));
+    }
+
+    /// Loads an immediate into `rd` (the classic `li` expansion).
+    fn load_imm(&mut self, rd: Reg, value: u32) {
+        let v = value as i32;
+        if (-2048..=2047).contains(&v) {
+            self.emit(Instruction::Addi {
+                rd,
+                rs1: Reg::X0,
+                imm: v,
+            });
+        } else {
+            let hi = value.wrapping_add(0x800) >> 12;
+            let lo = riscv_spec::word::sign_extend(value & 0xFFF, 12) as i32;
+            self.emit(Instruction::Lui {
+                rd,
+                imm20: hi & 0xFFFFF,
+            });
+            if lo != 0 {
+                self.emit(Instruction::Addi {
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                });
+            }
+        }
+    }
+
+    fn read(&mut self, loc: Loc, scratch: Reg) -> Reg {
+        match loc {
+            Loc::Reg(r) => r,
+            Loc::Spill(k) => {
+                let off = self.frame.spill_off(k);
+                self.emit(Instruction::Lw {
+                    rd: scratch,
+                    rs1: Reg::X2,
+                    offset: off,
+                });
+                scratch
+            }
+        }
+    }
+
+    /// Register to compute a result destined for `loc` into.
+    fn write_start(&mut self, loc: Loc) -> Reg {
+        match loc {
+            Loc::Reg(r) => r,
+            Loc::Spill(_) => T2,
+        }
+    }
+
+    /// Commits a computed value to `loc`.
+    fn write_end(&mut self, loc: Loc, from: Reg) {
+        match loc {
+            Loc::Reg(r) => {
+                if r != from {
+                    self.emit(Instruction::Addi {
+                        rd: r,
+                        rs1: from,
+                        imm: 0,
+                    });
+                }
+            }
+            Loc::Spill(k) => {
+                let off = self.frame.spill_off(k);
+                self.emit(Instruction::Sw {
+                    rs1: Reg::X2,
+                    rs2: from,
+                    offset: off,
+                });
+            }
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, rd: Reg, a: Reg, b: Reg) {
+        use Instruction as I;
+        match op {
+            BinOp::Add => self.emit(I::Add { rd, rs1: a, rs2: b }),
+            BinOp::Sub => self.emit(I::Sub { rd, rs1: a, rs2: b }),
+            BinOp::Mul => self.emit(I::Mul { rd, rs1: a, rs2: b }),
+            BinOp::MulHuu => self.emit(I::Mulhu { rd, rs1: a, rs2: b }),
+            BinOp::DivU => self.emit(I::Divu { rd, rs1: a, rs2: b }),
+            BinOp::RemU => self.emit(I::Remu { rd, rs1: a, rs2: b }),
+            BinOp::And => self.emit(I::And { rd, rs1: a, rs2: b }),
+            BinOp::Or => self.emit(I::Or { rd, rs1: a, rs2: b }),
+            BinOp::Xor => self.emit(I::Xor { rd, rs1: a, rs2: b }),
+            BinOp::Sru => self.emit(I::Srl { rd, rs1: a, rs2: b }),
+            BinOp::Slu => self.emit(I::Sll { rd, rs1: a, rs2: b }),
+            BinOp::Srs => self.emit(I::Sra { rd, rs1: a, rs2: b }),
+            BinOp::Lts => self.emit(I::Slt { rd, rs1: a, rs2: b }),
+            BinOp::Ltu => self.emit(I::Sltu { rd, rs1: a, rs2: b }),
+            BinOp::Eq => {
+                self.emit(I::Sub { rd, rs1: a, rs2: b });
+                self.emit(I::Sltiu {
+                    rd,
+                    rs1: rd,
+                    imm: 1,
+                });
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &FStmt<Loc>, ext: &dyn ExtCallCompiler) -> Result<(), CompileError> {
+        use Instruction as I;
+        match s {
+            FStmt::Skip => {}
+            FStmt::Lit { dest, value } => {
+                let d = self.write_start(*dest);
+                self.load_imm(d, *value);
+                self.write_end(*dest, d);
+            }
+            FStmt::Copy { dest, src } => {
+                let s = self.read(*src, T0);
+                self.write_end(*dest, s);
+            }
+            FStmt::Op { dest, op, a, b } => {
+                let ra = self.read(*a, T0);
+                let rb = self.read(*b, T1);
+                let d = self.write_start(*dest);
+                self.binop(*op, d, ra, rb);
+                self.write_end(*dest, d);
+            }
+            FStmt::Load { dest, size, addr } => {
+                let a = self.read(*addr, T0);
+                let d = self.write_start(*dest);
+                match size {
+                    Size::One => self.emit(I::Lbu {
+                        rd: d,
+                        rs1: a,
+                        offset: 0,
+                    }),
+                    Size::Two => self.emit(I::Lhu {
+                        rd: d,
+                        rs1: a,
+                        offset: 0,
+                    }),
+                    Size::Four => self.emit(I::Lw {
+                        rd: d,
+                        rs1: a,
+                        offset: 0,
+                    }),
+                }
+                self.write_end(*dest, d);
+            }
+            FStmt::Store { size, addr, value } => {
+                let a = self.read(*addr, T0);
+                let v = self.read(*value, T1);
+                match size {
+                    Size::One => self.emit(I::Sb {
+                        rs1: a,
+                        rs2: v,
+                        offset: 0,
+                    }),
+                    Size::Two => self.emit(I::Sh {
+                        rs1: a,
+                        rs2: v,
+                        offset: 0,
+                    }),
+                    Size::Four => self.emit(I::Sw {
+                        rs1: a,
+                        rs2: v,
+                        offset: 0,
+                    }),
+                }
+            }
+            FStmt::If { cond, then_, else_ } => {
+                // SkipIfNonZero skips the jump when the condition holds, so
+                // the then-branch is the fallthrough and the jump (taken
+                // when the condition is zero) targets the else code. Using
+                // jal for the actual transfer keeps branch ranges unlimited.
+                let c = self.read(*cond, T0);
+                let l_else = self.fresh_label();
+                let l_end = self.fresh_label();
+                self.asm.push(AsmInst::SkipIfNonZero { rs: c });
+                self.asm.push(AsmInst::Jump { label: l_else });
+                self.stmt(then_, ext)?;
+                self.asm.push(AsmInst::Jump { label: l_end });
+                self.label(l_else);
+                self.stmt(else_, ext)?;
+                self.label(l_end);
+            }
+            FStmt::Loop {
+                cond_stmts,
+                cond,
+                body,
+            } => {
+                let l_head = self.fresh_label();
+                let l_end = self.fresh_label();
+                self.label(l_head);
+                self.stmt(cond_stmts, ext)?;
+                let c = self.read(*cond, T0);
+                self.asm.push(AsmInst::SkipIfNonZero { rs: c });
+                self.asm.push(AsmInst::Jump { label: l_end });
+                self.stmt(body, ext)?;
+                self.asm.push(AsmInst::Jump { label: l_head });
+                self.label(l_end);
+            }
+            FStmt::Seq(ss) => {
+                for s in ss {
+                    self.stmt(s, ext)?;
+                }
+            }
+            FStmt::Call { rets, f, args } => {
+                let n_args = args.len() as i32;
+                let n_rets = rets.len() as i32;
+                for (i, a) in args.iter().enumerate() {
+                    let r = self.read(*a, T0);
+                    self.emit(I::Sw {
+                        rs1: Reg::X2,
+                        rs2: r,
+                        offset: -4 * (n_args + n_rets) + 4 * i as i32,
+                    });
+                }
+                self.callees.push(f.clone());
+                self.asm.push(AsmInst::CallFn { name: f.clone() });
+                for (j, r) in rets.iter().enumerate() {
+                    self.emit(I::Lw {
+                        rd: T0,
+                        rs1: Reg::X2,
+                        offset: -4 * n_rets + 4 * j as i32,
+                    });
+                    self.write_end(*r, T0);
+                }
+            }
+            FStmt::Interact { rets, action, args } => {
+                let mut ctx = ExtEmitter(self);
+                ext.compile_ext(action, args, rets, &mut ctx)?;
+            }
+            FStmt::Stackalloc { dest, nbytes, body } => {
+                let off = self.alloca_cursor as i32;
+                self.alloca_cursor += *nbytes;
+                let d = self.write_start(*dest);
+                self.emit(I::Addi {
+                    rd: d,
+                    rs1: Reg::X2,
+                    imm: off,
+                });
+                self.write_end(*dest, d);
+                self.stmt(body, ext)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compiles one register-allocated function to unresolved assembly.
+///
+/// # Errors
+///
+/// Propagates external-call compilation failures and reports frames too
+/// large for 12-bit stack addressing.
+pub fn compile_function(
+    f: &FlatFunction<Loc>,
+    used_regs: &[Reg],
+    nspills: u32,
+    ext: &dyn ExtCallCompiler,
+) -> Result<FnCode, CompileError> {
+    let frame = FrameLayout {
+        alloca_bytes: f.body.stackalloc_bytes(),
+        nspills,
+        saved: used_regs.to_vec(),
+        nargs: f.params.len() as u32,
+        nrets: f.rets.len() as u32,
+    };
+    if frame.size() > 2040 {
+        return Err(CompileError::FrameTooLarge {
+            function: f.name.clone(),
+            size: frame.size(),
+        });
+    }
+    let mut cg = FnCodegen {
+        asm: Vec::new(),
+        next_label: 0,
+        frame: frame.clone(),
+        alloca_cursor: 0,
+        callees: Vec::new(),
+    };
+    use Instruction as I;
+
+    // Prologue.
+    cg.emit(I::Addi {
+        rd: Reg::X2,
+        rs1: Reg::X2,
+        imm: -(frame.size() as i32),
+    });
+    cg.emit(I::Sw {
+        rs1: Reg::X2,
+        rs2: Reg::X1,
+        offset: frame.ra_off(),
+    });
+    for (m, r) in frame.saved.iter().enumerate() {
+        cg.emit(I::Sw {
+            rs1: Reg::X2,
+            rs2: *r,
+            offset: frame.saved_off(m as u32),
+        });
+    }
+    for (i, p) in f.params.iter().enumerate() {
+        cg.emit(I::Lw {
+            rd: T0,
+            rs1: Reg::X2,
+            offset: frame.arg_off(i as u32),
+        });
+        cg.write_end(*p, T0);
+    }
+
+    cg.stmt(&f.body, ext)?;
+
+    // Epilogue.
+    for (j, r) in f.rets.iter().enumerate() {
+        let reg = cg.read(*r, T0);
+        cg.emit(I::Sw {
+            rs1: Reg::X2,
+            rs2: reg,
+            offset: frame.ret_off(j as u32),
+        });
+    }
+    for (m, r) in frame.saved.iter().enumerate() {
+        cg.emit(I::Lw {
+            rd: *r,
+            rs1: Reg::X2,
+            offset: frame.saved_off(m as u32),
+        });
+    }
+    cg.emit(I::Lw {
+        rd: Reg::X1,
+        rs1: Reg::X2,
+        offset: frame.ra_off(),
+    });
+    cg.emit(I::Addi {
+        rd: Reg::X2,
+        rs1: Reg::X2,
+        imm: frame.size() as i32,
+    });
+    cg.emit(I::Jalr {
+        rd: Reg::X0,
+        rs1: Reg::X1,
+        offset: 0,
+    });
+
+    let mut callees = cg.callees.clone();
+    callees.sort();
+    callees.dedup();
+    Ok(FnCode {
+        name: f.name.clone(),
+        asm: cg.asm,
+        frame,
+        callees,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_layout_offsets_are_consistent() {
+        let frame = FrameLayout {
+            alloca_bytes: 8,
+            nspills: 2,
+            saved: vec![Reg::new(8), Reg::new(9)],
+            nargs: 2,
+            nrets: 1,
+        };
+        // size = 8 + 4*(2 + 2 + 1 + 2 + 1) = 8 + 32 = 40
+        assert_eq!(frame.size(), 40);
+        assert_eq!(frame.spill_off(0), 8);
+        assert_eq!(frame.spill_off(1), 12);
+        assert_eq!(frame.saved_off(0), 16);
+        assert_eq!(frame.ra_off(), 24);
+        assert_eq!(frame.arg_off(0), 40 - 12);
+        assert_eq!(frame.arg_off(1), 40 - 8);
+        assert_eq!(frame.ret_off(0), 40 - 4);
+        // Caller-side address of arg 0 relative to caller sp must agree:
+        // caller_sp - 4*(nargs+nrets) + 0 = callee_sp + F - 12. ✓
+    }
+
+    #[test]
+    fn mmio_ext_compiler_rejects_unknown_actions() {
+        let mut cg = FnCodegen {
+            asm: Vec::new(),
+            next_label: 0,
+            frame: FrameLayout {
+                alloca_bytes: 0,
+                nspills: 0,
+                saved: vec![],
+                nargs: 0,
+                nrets: 0,
+            },
+            alloca_cursor: 0,
+            callees: Vec::new(),
+        };
+        let mut ctx = ExtEmitter(&mut cg);
+        let err = MmioExtCompiler.compile_ext("FROBNICATE", &[], &[], &mut ctx);
+        assert_eq!(
+            err,
+            Err(CompileError::UnsupportedExternal("FROBNICATE".into()))
+        );
+    }
+
+    #[test]
+    fn mmio_read_emits_lw() {
+        let mut cg = FnCodegen {
+            asm: Vec::new(),
+            next_label: 0,
+            frame: FrameLayout {
+                alloca_bytes: 0,
+                nspills: 0,
+                saved: vec![],
+                nargs: 0,
+                nrets: 0,
+            },
+            alloca_cursor: 0,
+            callees: Vec::new(),
+        };
+        let mut ctx = ExtEmitter(&mut cg);
+        MmioExtCompiler
+            .compile_ext(
+                "MMIOREAD",
+                &[Loc::Reg(Reg::new(10))],
+                &[Loc::Reg(Reg::new(11))],
+                &mut ctx,
+            )
+            .unwrap();
+        assert!(cg
+            .asm
+            .iter()
+            .any(|i| matches!(i, AsmInst::Real(Instruction::Lw { .. }))));
+    }
+}

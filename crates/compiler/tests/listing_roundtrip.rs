@@ -1,0 +1,62 @@
+//! Cross-validation of the compiler's listing output against the
+//! assembler: every line the linker prints must parse back to exactly the
+//! instruction it came from — so listings are a faithful interchange
+//! format for reviewing compiler output.
+
+use bedrock2::dsl::*;
+use bedrock2::{Function, Program};
+use bedrock2_compiler::{compile, CompileOptions, MmioExtCompiler, NoExtCompiler};
+use riscv_spec::parse_program;
+
+#[test]
+fn listing_parses_back_to_the_same_instructions() {
+    let divmod = Function::new(
+        "divmod",
+        &["a", "b"],
+        &["q", "r"],
+        block([
+            set("q", divu(var("a"), var("b"))),
+            set("r", remu(var("a"), var("b"))),
+        ]),
+    );
+    let main = Function::new(
+        "main",
+        &[],
+        &["x"],
+        block([
+            call(&["x", "y"], "divmod", [lit(100), lit(7)]),
+            while_(var("y"), set("y", sub(var("y"), lit(1)))),
+            stackalloc("buf", 8, store4(var("buf"), var("x"))),
+        ]),
+    );
+    let image = compile(
+        &Program::from_functions([divmod, main]),
+        &NoExtCompiler,
+        &CompileOptions::default(),
+    )
+    .unwrap();
+
+    let parsed = parse_program(&image.listing()).expect("listing must be parseable assembly");
+    assert_eq!(parsed, image.insts);
+}
+
+#[test]
+fn mmio_code_listings_also_roundtrip() {
+    let main = Function::new(
+        "main",
+        &[],
+        &[],
+        block([
+            interact(&[], "MMIOWRITE", [lit(0x1001_200C), lit(2)]),
+            interact(&["v"], "MMIOREAD", [lit(0x1002_404C)]),
+        ]),
+    );
+    let image = compile(
+        &Program::from_functions([main]),
+        &MmioExtCompiler,
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    let parsed = parse_program(&image.listing()).unwrap();
+    assert_eq!(parsed, image.insts);
+}

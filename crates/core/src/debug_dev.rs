@@ -1,0 +1,89 @@
+//! A deterministic observation device for differential testing.
+//!
+//! Randomly generated programs need an I/O channel whose events can be
+//! compared across machine models that run at different speeds (the
+//! interpreter ticks per external call, the processors per cycle). This
+//! device is therefore deliberately **time-independent**: loads return a
+//! deterministic counter sequence, stores are recorded, and `tick` does
+//! nothing — so a trace mismatch can only come from the layer under test,
+//! never from clock skew.
+
+use riscv_spec::{AccessSize, MmioHandler};
+
+/// Base address of the observation device.
+pub const DEBUG_BASE: u32 = 0x1003_0000;
+/// Size of its window.
+pub const DEBUG_WINDOW: u32 = 0x100;
+
+/// The device: a store sink and a deterministic load source.
+#[derive(Clone, Debug, Default)]
+pub struct DebugDevice {
+    /// Values stored, in order, with their (offset, value).
+    pub stores: Vec<(u32, u32)>,
+    counter: u32,
+}
+
+impl DebugDevice {
+    /// A fresh device.
+    pub fn new() -> DebugDevice {
+        DebugDevice::default()
+    }
+
+    /// True when `addr` is inside the device's window (usable as the
+    /// `claims` predicate of replay handlers).
+    pub fn claims(addr: u32) -> bool {
+        (DEBUG_BASE..DEBUG_BASE + DEBUG_WINDOW).contains(&addr)
+    }
+}
+
+impl MmioHandler for DebugDevice {
+    fn is_mmio(&self, addr: u32, _size: AccessSize) -> bool {
+        DebugDevice::claims(addr)
+    }
+
+    fn load(&mut self, addr: u32, _size: AccessSize) -> u32 {
+        // A deterministic, address-dependent sequence.
+        self.counter = self.counter.wrapping_mul(1664525).wrapping_add(1013904223);
+        self.counter ^ addr
+    }
+
+    fn store(&mut self, addr: u32, _size: AccessSize, value: u32) {
+        self.stores.push((addr - DEBUG_BASE, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_are_deterministic_and_time_independent() {
+        let mut a = DebugDevice::new();
+        let mut b = DebugDevice::new();
+        for _ in 0..100 {
+            b.tick(); // ticks must not influence anything
+        }
+        for i in 0..5 {
+            let addr = DEBUG_BASE + i * 4;
+            assert_eq!(
+                a.load(addr, AccessSize::Word),
+                b.load(addr, AccessSize::Word)
+            );
+        }
+    }
+
+    #[test]
+    fn stores_are_recorded_in_order() {
+        let mut d = DebugDevice::new();
+        d.store(DEBUG_BASE, AccessSize::Word, 7);
+        d.store(DEBUG_BASE + 4, AccessSize::Word, 8);
+        assert_eq!(d.stores, vec![(0, 7), (4, 8)]);
+    }
+
+    #[test]
+    fn claims_only_its_window() {
+        assert!(DebugDevice::claims(DEBUG_BASE));
+        assert!(!DebugDevice::claims(DEBUG_BASE - 4));
+        assert!(!DebugDevice::claims(DEBUG_BASE + DEBUG_WINDOW));
+    }
+}

@@ -1,0 +1,344 @@
+//! The proof-shaped interface checks, as differential tests.
+//!
+//! Each function here corresponds to one proof in the paper's stack
+//! (Figure 3), restated as "run both sides of the interface and compare
+//! the observables":
+//!
+//! | paper proof                         | here                              |
+//! |-------------------------------------|-----------------------------------|
+//! | compiler correctness (§5.3)         | [`check_compiler_differential`]   |
+//! | compiler phase 1 simulation         | `check_flattening_differential`   |
+//! | optimizer soundness (our §7.2.1 baseline) | [`check_optimizer_differential`] |
+//! | processor–ISA consistency (§5.8)    | [`check_isa_consistency`]         |
+//! | pipelined ⊑ single-cycle (§5.7)     | re-exported `processor::refinement` |
+//!
+//! Source-level runs that hit undefined behavior or fuel exhaustion prove
+//! nothing (the compiler promises nothing about them) and are reported as
+//! [`DiffError::SourceUb`] so harnesses can discard them.
+
+use crate::debug_dev::DebugDevice;
+use bedrock2::ast::Program;
+use bedrock2::semantics::Interp;
+use bedrock2_compiler::{compile, CompileOptions, MmioExtCompiler};
+use lightbulb::MmioBridge;
+use riscv_spec::{Memory, MmioEvent, SpecMachine, StepOutcome};
+
+/// Fuel for source-level runs.
+const SOURCE_FUEL: u64 = 4_000_000;
+/// Instruction budget for machine-level runs.
+const MACHINE_FUEL: u64 = 40_000_000;
+/// RAM for machine-level runs.
+const RAM: u32 = 0x1_0000;
+
+/// A differential-check failure.
+#[derive(Clone, Debug)]
+pub enum DiffError {
+    /// The source run hit UB or ran out of fuel: the run is inconclusive
+    /// (not a compiler bug).
+    SourceUb(String),
+    /// The program failed to compile.
+    CompileError(String),
+    /// The compiled program hit a machine error although the source ran
+    /// clean — a compiler or machine bug.
+    MachineError(String),
+    /// The compiled program did not halt within the budget.
+    MachineTimeout,
+    /// The observable traces differ.
+    TraceMismatch {
+        /// First differing index.
+        index: usize,
+        /// Source-side event (if any).
+        source: Option<MmioEvent>,
+        /// Machine-side event (if any).
+        machine: Option<MmioEvent>,
+    },
+}
+
+impl std::fmt::Display for DiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffError::SourceUb(e) => write!(f, "source run inconclusive: {e}"),
+            DiffError::CompileError(e) => write!(f, "compile error: {e}"),
+            DiffError::MachineError(e) => write!(f, "machine error on clean source: {e}"),
+            DiffError::MachineTimeout => write!(f, "compiled program did not halt"),
+            DiffError::TraceMismatch {
+                index,
+                source,
+                machine,
+            } => write!(
+                f,
+                "trace mismatch at {index}: source {source:?} vs machine {machine:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+/// Runs `main` at the source level, returning its observation trace.
+///
+/// # Errors
+///
+/// [`DiffError::SourceUb`] when the run is inconclusive.
+pub fn run_source(prog: &Program) -> Result<Vec<MmioEvent>, DiffError> {
+    let mut interp = Interp::new(
+        prog,
+        Memory::with_size(RAM),
+        MmioBridge::new(DebugDevice::new()),
+    )
+    .with_fuel(SOURCE_FUEL);
+    interp
+        .call("main", &[])
+        .map_err(|e| DiffError::SourceUb(e.to_string()))?;
+    Ok(interp.ext.events)
+}
+
+/// Compiles `main` and runs it on the ISA spec machine, returning the
+/// observation trace.
+///
+/// # Errors
+///
+/// Compilation failures, machine errors, and timeouts.
+pub fn run_compiled(prog: &Program, optimize: bool) -> Result<Vec<MmioEvent>, DiffError> {
+    run_compiled_with(
+        prog,
+        CompileOptions {
+            optimize,
+            ..CompileOptions::default()
+        },
+    )
+}
+
+/// Like [`run_compiled`] with explicit options (used by the spill-all
+/// ablation sweep).
+///
+/// # Errors
+///
+/// Compilation failures, machine errors, and timeouts.
+pub fn run_compiled_with(
+    prog: &Program,
+    opts: CompileOptions,
+) -> Result<Vec<MmioEvent>, DiffError> {
+    let image = compile(prog, &MmioExtCompiler, &opts)
+        .map_err(|e| DiffError::CompileError(e.to_string()))?;
+    let mut m = SpecMachine::new(Memory::with_size(RAM), DebugDevice::new());
+    m.load_program(0, &image.words());
+    match m.run_until_ebreak(MACHINE_FUEL) {
+        Ok(StepOutcome::Halted { .. }) => Ok(m.trace),
+        Ok(StepOutcome::OutOfFuel) => Err(DiffError::MachineTimeout),
+        Err(e) => Err(DiffError::MachineError(e.to_string())),
+    }
+}
+
+fn compare(a: &[MmioEvent], b: &[MmioEvent]) -> Result<(), DiffError> {
+    let n = a.len().max(b.len());
+    for i in 0..n {
+        if a.get(i) != b.get(i) {
+            return Err(DiffError::TraceMismatch {
+                index: i,
+                source: a.get(i).copied(),
+                machine: b.get(i).copied(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Compiler correctness on one program: the compiled code's I/O trace on
+/// the ISA spec machine equals the interpreter's.
+///
+/// # Errors
+///
+/// [`DiffError::SourceUb`] for inconclusive runs; any other variant is a
+/// genuine bug.
+pub fn check_compiler_differential(prog: &Program, optimize: bool) -> Result<(), DiffError> {
+    let source = run_source(prog)?;
+    let machine = run_compiled(prog, optimize)?;
+    compare(&source, &machine)
+}
+
+/// Compiler correctness with the spill-everything ablation: the degenerate
+/// no-register allocation must still be correct (it exercises every spill
+/// path of the code generator).
+///
+/// # Errors
+///
+/// Like [`check_compiler_differential`].
+pub fn check_spill_all_differential(prog: &Program) -> Result<(), DiffError> {
+    let source = run_source(prog)?;
+    let machine = run_compiled_with(
+        prog,
+        CompileOptions {
+            spill_everything: true,
+            ..CompileOptions::default()
+        },
+    )?;
+    compare(&source, &machine)
+}
+
+/// Phase-1 (flattening) correctness on one program.
+///
+/// # Errors
+///
+/// Like [`check_compiler_differential`], at the FlatImp level.
+pub fn check_flattening_differential(prog: &Program) -> Result<(), DiffError> {
+    let source = run_source(prog)?;
+    let flat = bedrock2_compiler::flatten::flatten_program(prog);
+    let mut fi = bedrock2_compiler::flatimp::FlatInterp::new(
+        &flat,
+        Memory::with_size(RAM),
+        MmioBridge::new(DebugDevice::new()),
+    );
+    fi.call("main", &[])
+        .map_err(|e| DiffError::MachineError(format!("{e:?}")))?;
+    let flat_events: Vec<MmioEvent> = fi
+        .trace
+        .iter()
+        .map(|io| match io.action.as_str() {
+            "MMIOREAD" => MmioEvent::load(io.args[0], io.rets[0]),
+            "MMIOWRITE" => MmioEvent::store(io.args[0], io.args[1]),
+            other => panic!("unexpected action {other}"),
+        })
+        .collect();
+    compare(&source, &flat_events)
+}
+
+/// Optimizer soundness on one program: optimized and unoptimized binaries
+/// produce the same trace.
+///
+/// # Errors
+///
+/// Like [`check_compiler_differential`].
+pub fn check_optimizer_differential(prog: &Program) -> Result<(), DiffError> {
+    let source = run_source(prog)?;
+    let optimized = run_compiled(prog, true)?;
+    compare(&source, &optimized)
+}
+
+/// ISA consistency (§5.8) on one program: the single-cycle Kami spec core
+/// agrees with the riscv-spec machine on every observable, provided the
+/// software contract holds (which the spec-machine run itself checks).
+///
+/// # Errors
+///
+/// [`DiffError::SourceUb`] when even the spec machine flags the program;
+/// mismatches otherwise.
+pub fn check_isa_consistency(prog: &Program, optimize: bool) -> Result<(), DiffError> {
+    let opts = CompileOptions {
+        optimize,
+        ..CompileOptions::default()
+    };
+    let image = compile(prog, &MmioExtCompiler, &opts)
+        .map_err(|e| DiffError::CompileError(e.to_string()))?;
+
+    let mut m = SpecMachine::new(Memory::with_size(RAM), DebugDevice::new());
+    m.load_program(0, &image.words());
+    match m.run_until_ebreak(MACHINE_FUEL) {
+        Ok(StepOutcome::Halted { .. }) => {}
+        // Fuel exhaustion and UB are both outside the consistency
+        // statement (§5.8): the run proves nothing about the cores.
+        Ok(StepOutcome::OutOfFuel) => {
+            return Err(DiffError::SourceUb("machine fuel exhausted".to_string()))
+        }
+        Err(e) => return Err(DiffError::SourceUb(e.to_string())),
+    }
+
+    let mut core = processor::SingleCycle::new(&image.bytes(), RAM, DebugDevice::new());
+    core.run(MACHINE_FUEL);
+    if !core.halted {
+        return Err(DiffError::MachineTimeout);
+    }
+    compare(&m.trace, &core.mem.events())?;
+
+    // Architectural state must agree too.
+    for r in 1..32u8 {
+        let (a, b) = (m.regs[r as usize], core.rf.read(r));
+        if a != b {
+            return Err(DiffError::TraceMismatch {
+                index: usize::MAX,
+                source: Some(MmioEvent::load(r as u32, a)),
+                machine: Some(MmioEvent::load(r as u32, b)),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progen::ProgGen;
+
+    /// One seed sweep shared by the in-crate smoke tests; the heavyweight
+    /// sweeps live in `tests/` and the bench harness.
+    fn sweep(
+        mut check: impl FnMut(&Program) -> Result<(), DiffError>,
+        seeds: std::ops::Range<u64>,
+    ) {
+        let mut conclusive = 0;
+        for seed in seeds.clone() {
+            let prog = ProgGen::new(seed).gen_program();
+            match check(&prog) {
+                Ok(()) => conclusive += 1,
+                Err(DiffError::SourceUb(_)) => {}
+                Err(e) => panic!("seed {seed}: {e}\n{prog}"),
+            }
+        }
+        let total = (seeds.end - seeds.start) as u32;
+        assert!(
+            conclusive >= total * 5 / 10,
+            "too few conclusive runs: {conclusive}/{total}"
+        );
+    }
+
+    #[test]
+    fn compiler_differential_smoke() {
+        sweep(|p| check_compiler_differential(p, false), 0..15);
+    }
+
+    #[test]
+    fn optimizer_differential_smoke() {
+        sweep(check_optimizer_differential, 100..115);
+    }
+
+    #[test]
+    fn flattening_differential_smoke() {
+        sweep(check_flattening_differential, 200..215);
+    }
+
+    #[test]
+    fn isa_consistency_smoke() {
+        sweep(|p| check_isa_consistency(p, false), 300..315);
+    }
+
+    #[test]
+    fn a_planted_compiler_bug_is_caught() {
+        // "Compile" a different program than we interpret: the traces must
+        // differ, proving the harness has teeth.
+        use bedrock2::dsl::*;
+        use bedrock2::Function;
+        let honest = Program::from_functions([Function::new(
+            "main",
+            &[],
+            &[],
+            interact(
+                &[],
+                "MMIOWRITE",
+                [lit(crate::debug_dev::DEBUG_BASE), lit(1)],
+            ),
+        )]);
+        let crooked = Program::from_functions([Function::new(
+            "main",
+            &[],
+            &[],
+            interact(
+                &[],
+                "MMIOWRITE",
+                [lit(crate::debug_dev::DEBUG_BASE), lit(2)],
+            ),
+        )]);
+        let source = run_source(&honest).unwrap();
+        let machine = run_compiled(&crooked, false).unwrap();
+        assert!(compare(&source, &machine).is_err());
+    }
+}

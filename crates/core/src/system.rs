@@ -1,0 +1,194 @@
+//! Building and running the complete system.
+//!
+//! [`build_image`] is the software half of the paper's bring-up recipe
+//! (§5.9): compile the Bedrock2 sources with the event-loop entry
+//! (`init(); while(1) loop()`) into a binary for address 0.
+//! [`SystemConfig::run`] is the hardware half: attach the image to a
+//! machine model and the simulated board, drive traffic in, and collect
+//! the MMIO trace.
+
+use bedrock2_compiler::{compile, CompileOptions, CompiledProgram, Entry, MmioExtCompiler};
+use devices::{Board, SpiConfig};
+use lightbulb::{lightbulb_program, DriverOptions};
+use processor::{PipelineConfig, Pipelined, SingleCycle};
+use riscv_spec::{Memory, MmioEvent, SpecMachine};
+
+/// Which machine model executes the binary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcessorKind {
+    /// The riscv-spec software-oriented machine (UB-checking).
+    SpecMachine,
+    /// The single-cycle Kami spec core (also the idealized ~1 IPC
+    /// commercial-core stand-in of §7.2.1).
+    SingleCycle,
+    /// The 4-stage pipelined core — the shipping configuration of the
+    /// paper's theorem.
+    Pipelined,
+}
+
+/// A full system configuration — the §7.2.1 evaluation grid.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfig {
+    /// Driver variants (timeouts, SPI pipelining).
+    pub driver: DriverOptions,
+    /// Compile with the optimizing pipeline (the gcc-like baseline) or the
+    /// naive verified-style compiler.
+    pub optimize: bool,
+    /// Which machine model runs it.
+    pub processor: ProcessorKind,
+    /// Pipeline configuration (BTB etc.), used when `processor` is
+    /// [`ProcessorKind::Pipelined`].
+    pub pipeline: PipelineConfig,
+    /// RAM size in bytes (the image must fit; the stack starts at the
+    /// top).
+    pub ram_bytes: u32,
+    /// SPI wire speed (device ticks per transferred byte); the knob behind
+    /// the "SPI transfer dominates runtime" observation of §7.2.1.
+    pub spi: SpiConfig,
+}
+
+impl Default for SystemConfig {
+    /// The verified configuration the end-to-end theorem is about.
+    fn default() -> SystemConfig {
+        SystemConfig {
+            driver: DriverOptions::default(),
+            optimize: false,
+            processor: ProcessorKind::Pipelined,
+            pipeline: PipelineConfig::default(),
+            ram_bytes: 0x1_0000,
+            spi: SpiConfig::default(),
+        }
+    }
+}
+
+/// Compiles the lightbulb program for this configuration.
+///
+/// # Panics
+///
+/// Panics if the lightbulb sources fail to compile — they are part of this
+/// workspace, so that is a bug, not an input error.
+pub fn build_image(config: &SystemConfig) -> CompiledProgram {
+    let program = lightbulb_program(config.driver);
+    let opts = CompileOptions {
+        stack_top: config.ram_bytes,
+        stack_size: Some(config.ram_bytes / 4),
+        entry: Entry::EventLoop {
+            init: Some("lightbulb_init".to_string()),
+            step: "lightbulb_loop".to_string(),
+        },
+        optimize: config.optimize,
+        spill_everything: false,
+    };
+    compile(&program, &MmioExtCompiler, &opts).expect("lightbulb sources must compile")
+}
+
+/// The outcome of one system run.
+#[derive(Clone, Debug)]
+pub struct LightbulbRun {
+    /// The recorded MMIO trace.
+    pub events: Vec<MmioEvent>,
+    /// Lightbulb states after each GPIO `OUTPUT_VAL` write.
+    pub bulb_history: Vec<bool>,
+    /// Whether the bulb is on at the end.
+    pub bulb_on: bool,
+    /// Cycles (or retired instructions, for the spec machine) executed.
+    pub cycles: u64,
+    /// Machine error, if the run aborted (possible only on
+    /// [`ProcessorKind::SpecMachine`], which checks the software
+    /// contract).
+    pub error: Option<String>,
+}
+
+impl SystemConfig {
+    /// Builds the system, injects `frames`, runs for up to `max_cycles`,
+    /// and reports.
+    pub fn run(&self, frames: &[Vec<u8>], max_cycles: u64) -> LightbulbRun {
+        let image = build_image(self);
+        let mut board = Board::new(self.spi);
+        for f in frames {
+            board.inject_frame(f);
+        }
+        match self.processor {
+            ProcessorKind::Pipelined => {
+                let mut cpu = Pipelined::new(&image.bytes(), self.ram_bytes, board, self.pipeline);
+                cpu.run(max_cycles);
+                LightbulbRun {
+                    events: cpu.mem.events(),
+                    bulb_history: cpu.mem.mmio.gpio.lightbulb_history(),
+                    bulb_on: cpu.mem.mmio.lightbulb_on(),
+                    cycles: cpu.cycle,
+                    error: None,
+                }
+            }
+            ProcessorKind::SingleCycle => {
+                let mut cpu = SingleCycle::new(&image.bytes(), self.ram_bytes, board);
+                cpu.run(max_cycles);
+                LightbulbRun {
+                    events: cpu.mem.events(),
+                    bulb_history: cpu.mem.mmio.gpio.lightbulb_history(),
+                    bulb_on: cpu.mem.mmio.lightbulb_on(),
+                    cycles: cpu.cycle,
+                    error: None,
+                }
+            }
+            ProcessorKind::SpecMachine => {
+                let mut m = SpecMachine::new(Memory::with_size(self.ram_bytes), board);
+                m.load_program(0, &image.words());
+                let error = m.run(max_cycles).err().map(|e| e.to_string());
+                LightbulbRun {
+                    events: m.trace.clone(),
+                    bulb_history: m.mmio.gpio.lightbulb_history(),
+                    bulb_on: m.mmio.lightbulb_on(),
+                    cycles: m.instret,
+                    error,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_builds_and_reports_stack_usage() {
+        let image = build_image(&SystemConfig::default());
+        assert!(image.image_size() > 1000, "nontrivial image");
+        assert!(image.max_stack_usage >= lightbulb::layout::RX_BUFFER_BYTES);
+        assert!(image.function_addrs.contains_key("lightbulb_loop"));
+    }
+
+    #[test]
+    fn all_processors_boot_the_system() {
+        for processor in [
+            ProcessorKind::SpecMachine,
+            ProcessorKind::SingleCycle,
+            ProcessorKind::Pipelined,
+        ] {
+            let config = SystemConfig {
+                processor,
+                ..SystemConfig::default()
+            };
+            let run = config.run(&[], 250_000);
+            assert!(run.error.is_none(), "{processor:?}: {:?}", run.error);
+            assert!(
+                !run.events.is_empty(),
+                "{processor:?} must produce boot-sequence I/O"
+            );
+            assert!(!run.bulb_on);
+        }
+    }
+
+    #[test]
+    fn the_bulb_switches_on_hardware() {
+        let mut gen = devices::TrafficGen::new(61);
+        let config = SystemConfig::default();
+        let run = config.run(&[gen.command(true)], 500_000);
+        assert!(
+            run.bulb_on,
+            "after {} cycles: {:?}",
+            run.cycles, run.bulb_history
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Ethernet/IPv4/UDP frame building and parsing.
+//!
+//! The builder produces the frames the traffic generator injects into the
+//! LAN9250 model; the parser is the *reference* validator the lightbulb
+//! driver's hand-rolled byte checks are tested against (the driver itself,
+//! like the paper's, uses a deliberately simple and lax notion of a valid
+//! packet — see the `lightbulb` crate).
+
+use std::fmt;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// IP protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+/// Ethernet + IPv4 + UDP header bytes before the payload.
+pub const HEADERS_LEN: usize = 14 + 20 + 8;
+
+/// Everything needed to build a UDP-in-IPv4-in-Ethernet frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrameSpec {
+    /// Destination MAC.
+    pub dst_mac: [u8; 6],
+    /// Source MAC.
+    pub src_mac: [u8; 6],
+    /// Source IPv4 address.
+    pub src_ip: [u8; 4],
+    /// Destination IPv4 address.
+    pub dst_ip: [u8; 4],
+    /// UDP source port.
+    pub src_port: u16,
+    /// UDP destination port.
+    pub dst_port: u16,
+    /// UDP payload.
+    pub payload: Vec<u8>,
+}
+
+impl Default for FrameSpec {
+    fn default() -> FrameSpec {
+        FrameSpec {
+            dst_mac: [0x02, 0, 0, 0, 0, 0x01],
+            src_mac: [0x02, 0, 0, 0, 0, 0x02],
+            src_ip: [10, 0, 0, 2],
+            dst_ip: [10, 0, 0, 1],
+            src_port: 51000,
+            dst_port: 4040,
+            payload: Vec::new(),
+        }
+    }
+}
+
+/// RFC 1071 ones'-complement checksum over 16-bit words.
+pub fn internet_checksum(bytes: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    for chunk in bytes.chunks(2) {
+        let word = (chunk[0] as u32) << 8 | chunk.get(1).copied().unwrap_or(0) as u32;
+        sum += word;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Builds a complete frame from a [`FrameSpec`].
+pub fn build_udp_frame(spec: &FrameSpec) -> Vec<u8> {
+    let ip_len = 20 + 8 + spec.payload.len();
+    let udp_len = 8 + spec.payload.len();
+    let mut f = Vec::with_capacity(14 + ip_len);
+    // Ethernet header.
+    f.extend_from_slice(&spec.dst_mac);
+    f.extend_from_slice(&spec.src_mac);
+    f.extend_from_slice(&ETHERTYPE_IPV4.to_be_bytes());
+    // IPv4 header.
+    let ip_start = f.len();
+    f.push(0x45); // version 4, IHL 5
+    f.push(0); // DSCP/ECN
+    f.extend_from_slice(&(ip_len as u16).to_be_bytes());
+    f.extend_from_slice(&[0, 0]); // identification
+    f.extend_from_slice(&[0x40, 0]); // don't fragment
+    f.push(64); // TTL
+    f.push(PROTO_UDP);
+    f.extend_from_slice(&[0, 0]); // checksum placeholder
+    f.extend_from_slice(&spec.src_ip);
+    f.extend_from_slice(&spec.dst_ip);
+    let csum = internet_checksum(&f[ip_start..ip_start + 20]);
+    f[ip_start + 10..ip_start + 12].copy_from_slice(&csum.to_be_bytes());
+    // UDP header (checksum 0 = none, legal for IPv4).
+    f.extend_from_slice(&spec.src_port.to_be_bytes());
+    f.extend_from_slice(&spec.dst_port.to_be_bytes());
+    f.extend_from_slice(&(udp_len as u16).to_be_bytes());
+    f.extend_from_slice(&[0, 0]);
+    f.extend_from_slice(&spec.payload);
+    f
+}
+
+/// Why a frame failed to parse as UDP-in-IPv4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Shorter than the three headers.
+    TooShort,
+    /// EtherType is not IPv4.
+    NotIpv4,
+    /// IP version/IHL field is not the plain `0x45`.
+    BadIpHeader,
+    /// Bad IPv4 header checksum.
+    BadChecksum,
+    /// IP protocol is not UDP.
+    NotUdp,
+    /// Lengths in the headers disagree with the frame.
+    LengthMismatch,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ParseError::TooShort => "frame too short",
+            ParseError::NotIpv4 => "not IPv4",
+            ParseError::BadIpHeader => "unsupported IP header",
+            ParseError::BadChecksum => "bad IPv4 checksum",
+            ParseError::NotUdp => "not UDP",
+            ParseError::LengthMismatch => "header lengths disagree with frame",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A successfully parsed frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedUdp {
+    /// UDP destination port.
+    pub dst_port: u16,
+    /// UDP source port.
+    pub src_port: u16,
+    /// The UDP payload.
+    pub payload: Vec<u8>,
+}
+
+/// Strictly parses a frame as UDP-in-IPv4-in-Ethernet.
+///
+/// # Errors
+///
+/// The first [`ParseError`] encountered, outermost layer first.
+pub fn parse_udp_frame(frame: &[u8]) -> Result<ParsedUdp, ParseError> {
+    if frame.len() < HEADERS_LEN {
+        return Err(ParseError::TooShort);
+    }
+    let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+    if ethertype != ETHERTYPE_IPV4 {
+        return Err(ParseError::NotIpv4);
+    }
+    let ip = &frame[14..];
+    if ip[0] != 0x45 {
+        return Err(ParseError::BadIpHeader);
+    }
+    if internet_checksum(&ip[..20]) != 0 {
+        return Err(ParseError::BadChecksum);
+    }
+    if ip[9] != PROTO_UDP {
+        return Err(ParseError::NotUdp);
+    }
+    let ip_len = u16::from_be_bytes([ip[2], ip[3]]) as usize;
+    if ip_len < 28 || 14 + ip_len > frame.len() {
+        return Err(ParseError::LengthMismatch);
+    }
+    let udp = &ip[20..];
+    let udp_len = u16::from_be_bytes([udp[4], udp[5]]) as usize;
+    if udp_len < 8 || udp_len != ip_len - 20 {
+        return Err(ParseError::LengthMismatch);
+    }
+    Ok(ParsedUdp {
+        src_port: u16::from_be_bytes([udp[0], udp[1]]),
+        dst_port: u16::from_be_bytes([udp[2], udp[3]]),
+        payload: udp[8..udp_len].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_parse_roundtrip() {
+        let spec = FrameSpec {
+            payload: vec![1, 0xAB, 0xCD],
+            ..FrameSpec::default()
+        };
+        let frame = build_udp_frame(&spec);
+        assert_eq!(frame.len(), HEADERS_LEN + 3);
+        let parsed = parse_udp_frame(&frame).unwrap();
+        assert_eq!(parsed.dst_port, 4040);
+        assert_eq!(parsed.payload, vec![1, 0xAB, 0xCD]);
+    }
+
+    #[test]
+    fn checksum_self_verifies() {
+        let frame = build_udp_frame(&FrameSpec::default());
+        assert_eq!(internet_checksum(&frame[14..34]), 0);
+    }
+
+    #[test]
+    fn known_checksum_vector() {
+        // Example from RFC 1071 discussions.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn rejects_each_layer() {
+        let good = build_udp_frame(&FrameSpec {
+            payload: vec![1],
+            ..FrameSpec::default()
+        });
+
+        assert_eq!(parse_udp_frame(&good[..20]), Err(ParseError::TooShort));
+
+        let mut bad = good.clone();
+        bad[12] = 0x86; // IPv6 ethertype
+        assert_eq!(parse_udp_frame(&bad), Err(ParseError::NotIpv4));
+
+        let mut bad = good.clone();
+        bad[14] = 0x46; // IHL 6
+        assert_eq!(parse_udp_frame(&bad), Err(ParseError::BadIpHeader));
+
+        let mut bad = good.clone();
+        bad[30] ^= 0xFF; // corrupt source IP → checksum fails
+        assert_eq!(parse_udp_frame(&bad), Err(ParseError::BadChecksum));
+
+        let mut bad = good.clone();
+        bad[23] = 6; // TCP
+                     // Fix the checksum so the protocol check is what fires.
+        bad[24..26].copy_from_slice(&[0, 0]);
+        let c = internet_checksum(&bad[14..34]);
+        bad[24..26].copy_from_slice(&c.to_be_bytes());
+        assert_eq!(parse_udp_frame(&bad), Err(ParseError::NotUdp));
+
+        let mut bad = good.clone();
+        bad[38..40].copy_from_slice(&100u16.to_be_bytes()); // UDP len lies
+        assert_eq!(parse_udp_frame(&bad), Err(ParseError::LengthMismatch));
+    }
+
+    #[test]
+    fn odd_length_checksum() {
+        assert_eq!(internet_checksum(&[0xFF]), !0xFF00);
+    }
+}

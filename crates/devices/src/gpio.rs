@@ -1,0 +1,104 @@
+//! The GPIO output port: the lightbulb's power switch.
+//!
+//! Register map follows the FE310 GPIO block for the three registers the
+//! stack touches. The model additionally records every `OUTPUT_VAL` write
+//! so tests and the latency benchmarks can observe *when* the lightbulb
+//! was actuated.
+
+/// Input pin values (constant 0 in this platform).
+pub const INPUT_VAL: u32 = 0x00;
+/// Output-enable mask.
+pub const OUTPUT_EN: u32 = 0x08;
+/// Output pin values.
+pub const OUTPUT_VAL: u32 = 0x0C;
+
+/// The GPIO pin wired to the lightbulb's power switch.
+pub const LIGHTBULB_PIN: u32 = 1;
+
+/// The GPIO block.
+#[derive(Clone, Debug, Default)]
+pub struct Gpio {
+    /// Current output-enable mask.
+    pub output_en: u32,
+    /// Current output values.
+    pub output_val: u32,
+    /// Every value ever written to `OUTPUT_VAL`, oldest first.
+    pub writes: Vec<u32>,
+}
+
+impl Gpio {
+    /// Creates a GPIO block with all outputs low and disabled.
+    pub fn new() -> Gpio {
+        Gpio::default()
+    }
+
+    /// MMIO register read.
+    pub fn read(&mut self, offset: u32) -> u32 {
+        match offset {
+            INPUT_VAL => 0,
+            OUTPUT_EN => self.output_en,
+            OUTPUT_VAL => self.output_val,
+            _ => 0,
+        }
+    }
+
+    /// MMIO register write.
+    pub fn write(&mut self, offset: u32, value: u32) {
+        match offset {
+            OUTPUT_EN => self.output_en = value,
+            OUTPUT_VAL => {
+                self.output_val = value;
+                self.writes.push(value);
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether the lightbulb is currently on (pin driven high and enabled).
+    pub fn lightbulb_on(&self) -> bool {
+        let mask = 1 << LIGHTBULB_PIN;
+        self.output_en & mask != 0 && self.output_val & mask != 0
+    }
+
+    /// The lightbulb states produced by successive `OUTPUT_VAL` writes.
+    pub fn lightbulb_history(&self) -> Vec<bool> {
+        let mask = 1 << LIGHTBULB_PIN;
+        self.writes.iter().map(|v| v & mask != 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lightbulb_needs_enable_and_value() {
+        let mut g = Gpio::new();
+        g.write(OUTPUT_VAL, 1 << LIGHTBULB_PIN);
+        assert!(!g.lightbulb_on(), "not enabled yet");
+        g.write(OUTPUT_EN, 1 << LIGHTBULB_PIN);
+        assert!(g.lightbulb_on());
+        g.write(OUTPUT_VAL, 0);
+        assert!(!g.lightbulb_on());
+    }
+
+    #[test]
+    fn writes_are_recorded() {
+        let mut g = Gpio::new();
+        g.write(OUTPUT_VAL, 2);
+        g.write(OUTPUT_VAL, 0);
+        g.write(OUTPUT_VAL, 2);
+        assert_eq!(g.lightbulb_history(), vec![true, false, true]);
+    }
+
+    #[test]
+    fn reads_reflect_state() {
+        let mut g = Gpio::new();
+        g.write(OUTPUT_EN, 0xF0);
+        g.write(OUTPUT_VAL, 0x30);
+        assert_eq!(g.read(OUTPUT_EN), 0xF0);
+        assert_eq!(g.read(OUTPUT_VAL), 0x30);
+        assert_eq!(g.read(INPUT_VAL), 0);
+        assert_eq!(g.read(0xFF), 0, "unmapped offsets read zero");
+    }
+}

@@ -1,0 +1,429 @@
+//! A register-level model of the LAN9250 Ethernet controller.
+//!
+//! The LAN9250's API is "a range of SPI-accessible address space where
+//! reads and writes to different addresses correspond to different
+//! operations" (§5.1). This model implements the slice of that address
+//! space the lightbulb stack uses:
+//!
+//! * command framing over SPI: a `0x03` (read) or `0x02` (write) command
+//!   byte, a 16-bit big-endian address, then data bytes, little-endian
+//!   within each 32-bit register, auto-incrementing across registers
+//!   (except the RX data FIFO, which streams);
+//! * bring-up: `BYTE_TEST` reads `0x87654321` once the chip answers, and
+//!   `HW_CFG` advertises READY after a power-up delay — the "incantations
+//!   mandated by the Ethernet controller" that `BootSeq` describes (§3.1);
+//! * MAC CSR indirection (`MAC_CSR_CMD`/`MAC_CSR_DATA`) used to enable
+//!   packet reception;
+//! * the RX path: `RX_FIFO_INF` advertises queued frames,
+//!   `RX_STATUS_FIFO` pops a frame's status word (length in bits 16–29),
+//!   `RX_DATA_FIFO` streams its bytes, and `RX_DP_CTRL` can discard the
+//!   remainder (how the driver skips oversized frames *without* copying
+//!   them into its fixed buffer — the overrun the paper's initial
+//!   prototype got wrong).
+//!
+//! Tests inject frames with [`Lan9250::inject_frame`]; nothing is visible
+//! to software until the MAC's receive enable is set.
+
+use crate::spi::SpiSlave;
+use std::collections::VecDeque;
+
+/// RX data FIFO (streaming; no auto-increment).
+pub const RX_DATA_FIFO: u16 = 0x00;
+/// RX status FIFO: pops the next frame's status word.
+pub const RX_STATUS_FIFO: u16 = 0x40;
+/// Endianness/liveness test register.
+pub const BYTE_TEST: u16 = 0x64;
+/// Hardware configuration; bit 27 = READY.
+pub const HW_CFG: u16 = 0x74;
+/// RX FIFO information: status words used (bits 16–23).
+pub const RX_FIFO_INF: u16 = 0x7C;
+/// MAC CSR command register.
+pub const MAC_CSR_CMD: u16 = 0xA4;
+/// MAC CSR data register.
+pub const MAC_CSR_DATA: u16 = 0xA8;
+/// RX datapath control; bit 31 discards the current frame.
+pub const RX_DP_CTRL: u16 = 0xB4;
+
+/// The value `BYTE_TEST` always reads.
+pub const BYTE_TEST_MAGIC: u32 = 0x8765_4321;
+/// READY bit in `HW_CFG`.
+pub const HW_CFG_READY: u32 = 1 << 27;
+/// Busy/strobe bit in `MAC_CSR_CMD`.
+pub const MAC_CSR_BUSY: u32 = 1 << 31;
+/// Read (vs write) bit in `MAC_CSR_CMD`.
+pub const MAC_CSR_READ: u32 = 1 << 30;
+/// Index of the MAC control register in the CSR space.
+pub const MAC_CR: u32 = 1;
+/// Receive-enable bit in `MAC_CR`.
+pub const MAC_CR_RXEN: u32 = 1 << 2;
+/// Discard bit in `RX_DP_CTRL`.
+pub const RX_DP_DISCARD: u32 = 1 << 31;
+
+/// SPI read command byte.
+pub const CMD_READ: u8 = 0x03;
+/// SPI write command byte.
+pub const CMD_WRITE: u8 = 0x02;
+
+#[derive(Clone, Debug)]
+enum SpiState {
+    Idle,
+    Addr1 { write: bool },
+    Addr2 { write: bool, hi: u8 },
+    Read { addr: u16, lane: u32, latch: u32 },
+    Write { addr: u16, lane: u32, acc: u32 },
+}
+
+/// The LAN9250 model.
+#[derive(Clone, Debug)]
+pub struct Lan9250 {
+    state: SpiState,
+    ready_countdown: u32,
+    mac: [u32; 16],
+    csr_data: u32,
+    pending: VecDeque<Vec<u8>>,
+    current: VecDeque<u8>,
+    /// Frames handed over to software (fully read or discarded).
+    pub frames_delivered: u64,
+    /// Frames discarded via `RX_DP_CTRL`.
+    pub frames_discarded: u64,
+}
+
+impl Default for Lan9250 {
+    fn default() -> Lan9250 {
+        Lan9250::new()
+    }
+}
+
+impl Lan9250 {
+    /// A powered-up controller that becomes READY after a short delay.
+    pub fn new() -> Lan9250 {
+        Lan9250 {
+            state: SpiState::Idle,
+            ready_countdown: 16,
+            mac: [0; 16],
+            csr_data: 0,
+            pending: VecDeque::new(),
+            current: VecDeque::new(),
+            frames_delivered: 0,
+            frames_discarded: 0,
+        }
+    }
+
+    /// Queues an Ethernet frame for reception. It becomes visible to
+    /// software once the MAC receive enable is on.
+    pub fn inject_frame(&mut self, frame: &[u8]) {
+        self.pending.push_back(frame.to_vec());
+    }
+
+    /// True once software has enabled reception via the MAC CSRs.
+    pub fn rx_enabled(&self) -> bool {
+        self.mac[MAC_CR as usize] & MAC_CR_RXEN != 0
+    }
+
+    /// Frames queued but not yet handed to software.
+    pub fn frames_pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn reg_read(&mut self, addr: u16) -> u32 {
+        match addr {
+            RX_STATUS_FIFO => {
+                if !self.rx_enabled() {
+                    return 0;
+                }
+                match self.pending.pop_front() {
+                    Some(frame) => {
+                        let len = frame.len() as u32;
+                        self.current = frame.into();
+                        // Pad the data FIFO to a word multiple.
+                        while !self.current.len().is_multiple_of(4) {
+                            self.current.push_back(0);
+                        }
+                        self.frames_delivered += 1;
+                        (len & 0x3FFF) << 16
+                    }
+                    None => 0,
+                }
+            }
+            BYTE_TEST => {
+                if self.ready_countdown == 0 {
+                    BYTE_TEST_MAGIC
+                } else {
+                    0xFFFF_FFFF // bus not ready: reads float
+                }
+            }
+            HW_CFG if self.ready_countdown == 0 => HW_CFG_READY,
+            RX_FIFO_INF if self.rx_enabled() => {
+                ((self.pending.len() as u32) & 0xFF) << 16 | (self.current.len() as u32 & 0xFFFF)
+            }
+            MAC_CSR_CMD => 0, // commands complete immediately: never busy
+            MAC_CSR_DATA => self.csr_data,
+            _ => 0,
+        }
+    }
+
+    fn reg_write(&mut self, addr: u16, value: u32) {
+        match addr {
+            MAC_CSR_DATA => self.csr_data = value,
+            MAC_CSR_CMD if value & MAC_CSR_BUSY != 0 => {
+                let idx = (value & 0xF) as usize;
+                if value & MAC_CSR_READ != 0 {
+                    self.csr_data = self.mac[idx];
+                } else {
+                    self.mac[idx] = self.csr_data;
+                }
+            }
+            RX_DP_CTRL if value & RX_DP_DISCARD != 0 && !self.current.is_empty() => {
+                self.current.clear();
+                self.frames_discarded += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn data_fifo_pop(&mut self) -> u8 {
+        self.current.pop_front().unwrap_or(0)
+    }
+}
+
+impl SpiSlave for Lan9250 {
+    fn exchange(&mut self, mosi: u8) -> u8 {
+        match self.state.clone() {
+            SpiState::Idle => {
+                match mosi {
+                    CMD_READ => self.state = SpiState::Addr1 { write: false },
+                    CMD_WRITE => self.state = SpiState::Addr1 { write: true },
+                    _ => {} // unknown command: ignored until CS toggles
+                }
+                0xFF
+            }
+            SpiState::Addr1 { write } => {
+                self.state = SpiState::Addr2 { write, hi: mosi };
+                0xFF
+            }
+            SpiState::Addr2 { write, hi } => {
+                let addr = (hi as u16) << 8 | mosi as u16;
+                self.state = if write {
+                    SpiState::Write {
+                        addr,
+                        lane: 0,
+                        acc: 0,
+                    }
+                } else {
+                    SpiState::Read {
+                        addr,
+                        lane: 0,
+                        latch: 0,
+                    }
+                };
+                0xFF
+            }
+            SpiState::Read { addr, lane, latch } => {
+                if addr == RX_DATA_FIFO {
+                    // Streaming: one fresh byte per exchange, no
+                    // auto-increment.
+                    let byte = self.data_fifo_pop();
+                    self.state = SpiState::Read {
+                        addr,
+                        lane: 0,
+                        latch: 0,
+                    };
+                    byte
+                } else {
+                    // Latch the word at the first byte so all four lanes
+                    // come from one coherent register read.
+                    let word = if lane == 0 {
+                        self.reg_read(addr)
+                    } else {
+                        latch
+                    };
+                    let byte = (word >> (8 * lane) & 0xFF) as u8;
+                    let next_lane = (lane + 1) % 4;
+                    let next_addr = if next_lane == 0 {
+                        addr.wrapping_add(4)
+                    } else {
+                        addr
+                    };
+                    self.state = SpiState::Read {
+                        addr: next_addr,
+                        lane: next_lane,
+                        latch: word,
+                    };
+                    byte
+                }
+            }
+            SpiState::Write { addr, lane, acc } => {
+                let acc = acc | (mosi as u32) << (8 * lane);
+                if lane == 3 {
+                    self.reg_write(addr, acc);
+                    self.state = SpiState::Write {
+                        addr: addr.wrapping_add(4),
+                        lane: 0,
+                        acc: 0,
+                    };
+                } else {
+                    self.state = SpiState::Write {
+                        addr,
+                        lane: lane + 1,
+                        acc,
+                    };
+                }
+                0xFF
+            }
+        }
+    }
+
+    fn cs_high(&mut self) {
+        self.state = SpiState::Idle;
+    }
+
+    fn tick(&mut self) {
+        self.ready_countdown = self.ready_countdown.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a full read command over the SPI byte protocol.
+    fn spi_read(dev: &mut Lan9250, addr: u16) -> u32 {
+        dev.exchange(CMD_READ);
+        dev.exchange((addr >> 8) as u8);
+        dev.exchange((addr & 0xFF) as u8);
+        let mut v = 0u32;
+        for lane in 0..4 {
+            v |= (dev.exchange(0) as u32) << (8 * lane);
+        }
+        dev.cs_high();
+        v
+    }
+
+    fn spi_write(dev: &mut Lan9250, addr: u16, value: u32) {
+        dev.exchange(CMD_WRITE);
+        dev.exchange((addr >> 8) as u8);
+        dev.exchange((addr & 0xFF) as u8);
+        for lane in 0..4 {
+            dev.exchange((value >> (8 * lane)) as u8);
+        }
+        dev.cs_high();
+    }
+
+    fn ready(dev: &mut Lan9250) {
+        for _ in 0..32 {
+            dev.tick();
+        }
+    }
+
+    fn enable_rx(dev: &mut Lan9250) {
+        spi_write(dev, MAC_CSR_DATA, MAC_CR_RXEN);
+        spi_write(dev, MAC_CSR_CMD, MAC_CSR_BUSY | MAC_CR);
+    }
+
+    #[test]
+    fn byte_test_magic_after_powerup() {
+        let mut dev = Lan9250::new();
+        assert_ne!(
+            spi_read(&mut dev, BYTE_TEST),
+            BYTE_TEST_MAGIC,
+            "not ready yet"
+        );
+        ready(&mut dev);
+        assert_eq!(spi_read(&mut dev, BYTE_TEST), BYTE_TEST_MAGIC);
+        assert_eq!(spi_read(&mut dev, HW_CFG) & HW_CFG_READY, HW_CFG_READY);
+    }
+
+    #[test]
+    fn mac_csr_roundtrip() {
+        let mut dev = Lan9250::new();
+        ready(&mut dev);
+        enable_rx(&mut dev);
+        assert!(dev.rx_enabled());
+        // Read it back through the CSR interface.
+        spi_write(&mut dev, MAC_CSR_CMD, MAC_CSR_BUSY | MAC_CSR_READ | MAC_CR);
+        assert_eq!(spi_read(&mut dev, MAC_CSR_DATA), MAC_CR_RXEN);
+    }
+
+    #[test]
+    fn frames_invisible_until_rx_enabled() {
+        let mut dev = Lan9250::new();
+        ready(&mut dev);
+        dev.inject_frame(&[1, 2, 3, 4, 5]);
+        assert_eq!(spi_read(&mut dev, RX_FIFO_INF), 0);
+        enable_rx(&mut dev);
+        assert_eq!(spi_read(&mut dev, RX_FIFO_INF) >> 16 & 0xFF, 1);
+    }
+
+    #[test]
+    fn rx_flow_status_then_data() {
+        let mut dev = Lan9250::new();
+        ready(&mut dev);
+        enable_rx(&mut dev);
+        dev.inject_frame(&[0xAA, 0xBB, 0xCC, 0xDD, 0xEE]);
+        let status = spi_read(&mut dev, RX_STATUS_FIFO);
+        assert_eq!(status >> 16 & 0x3FFF, 5);
+        // Data: two words (padded).
+        let w0 = spi_read(&mut dev, RX_DATA_FIFO);
+        let w1 = spi_read(&mut dev, RX_DATA_FIFO);
+        assert_eq!(w0, 0xDDCC_BBAA);
+        assert_eq!(w1, 0x0000_00EE);
+        assert_eq!(dev.frames_delivered, 1);
+        // FIFO now empty.
+        assert_eq!(spi_read(&mut dev, RX_STATUS_FIFO), 0);
+    }
+
+    #[test]
+    fn discard_skips_remaining_data() {
+        let mut dev = Lan9250::new();
+        ready(&mut dev);
+        enable_rx(&mut dev);
+        dev.inject_frame(&vec![0x55; 2000]); // oversized for the driver
+        let status = spi_read(&mut dev, RX_STATUS_FIFO);
+        assert_eq!(status >> 16 & 0x3FFF, 2000);
+        spi_write(&mut dev, RX_DP_CTRL, RX_DP_DISCARD);
+        assert_eq!(dev.frames_discarded, 1);
+        assert_eq!(spi_read(&mut dev, RX_FIFO_INF) & 0xFFFF, 0, "data gone");
+    }
+
+    #[test]
+    fn cs_aborts_partial_commands() {
+        let mut dev = Lan9250::new();
+        ready(&mut dev);
+        dev.exchange(CMD_READ);
+        dev.exchange(0x00);
+        dev.cs_high(); // abort before the address completes
+                       // A fresh, complete read still works.
+        assert_eq!(spi_read(&mut dev, BYTE_TEST), BYTE_TEST_MAGIC);
+    }
+
+    #[test]
+    fn unknown_commands_are_ignored() {
+        let mut dev = Lan9250::new();
+        ready(&mut dev);
+        assert_eq!(dev.exchange(0x99), 0xFF);
+        dev.cs_high();
+        assert_eq!(spi_read(&mut dev, BYTE_TEST), BYTE_TEST_MAGIC);
+    }
+
+    #[test]
+    fn register_reads_auto_increment() {
+        let mut dev = Lan9250::new();
+        ready(&mut dev);
+        // One 8-byte read starting at BYTE_TEST covers BYTE_TEST then the
+        // next word (0x68, unmapped → 0).
+        dev.exchange(CMD_READ);
+        dev.exchange(0x00);
+        dev.exchange(0x64);
+        let mut first = 0u32;
+        for lane in 0..4 {
+            first |= (dev.exchange(0) as u32) << (8 * lane);
+        }
+        let mut second = 0u32;
+        for lane in 0..4 {
+            second |= (dev.exchange(0) as u32) << (8 * lane);
+        }
+        dev.cs_high();
+        assert_eq!(first, BYTE_TEST_MAGIC);
+        assert_eq!(second, 0);
+    }
+}

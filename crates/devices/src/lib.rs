@@ -1,0 +1,36 @@
+//! Peripheral models for the verified-lightbulb platform.
+//!
+//! The paper's demo system (Figure 2) connects the FPGA to a LAN9250
+//! Ethernet controller over SPI and to a power switch over GPIO; the
+//! SPI/GPIO register interfaces replicate the commercial FE310
+//! microcontroller's so hardware and software could be tested separately
+//! against off-the-shelf parts (§5.1). This crate provides the simulated
+//! equivalents:
+//!
+//! * [`spi`] — an FE310-flavored SPI controller with TX/RX queues exposed
+//!   over MMIO and a pluggable [`spi::SpiSlave`] on the other side;
+//! * [`gpio`] — the output port driving the lightbulb's power switch;
+//! * [`lan9250`] — a register-level model of the LAN9250: SPI command
+//!   framing, `BYTE_TEST`/`HW_CFG` bring-up, MAC CSR indirection, RX
+//!   status/data FIFOs, and frame injection for tests;
+//! * [`ethernet`] — Ethernet/IPv4/UDP frame building and parsing;
+//! * [`workload`] — traffic generation: valid lightbulb commands and
+//!   frames malformed at every layer (the packets the end-to-end theorem
+//!   says are *ignored*, no matter how malicious);
+//! * [`bus`] — the [`Board`]: both peripherals behind one
+//!   [`riscv_spec::MmioHandler`], pluggable into every machine model in
+//!   the workspace.
+
+pub mod bus;
+pub mod ethernet;
+pub mod gpio;
+pub mod lan9250;
+pub mod spi;
+pub mod workload;
+
+pub use bus::{Board, GPIO_BASE, SPI_BASE};
+pub use ethernet::{build_udp_frame, parse_udp_frame, FrameSpec, ParseError, ParsedUdp};
+pub use gpio::Gpio;
+pub use lan9250::Lan9250;
+pub use spi::{Spi, SpiConfig, SpiSlave};
+pub use workload::{Malformation, TrafficGen};

@@ -1,0 +1,253 @@
+//! An FE310-flavored SPI controller.
+//!
+//! The register map follows the SiFive FE310's SPI peripheral where the
+//! lightbulb stack uses it (§5.1 of the paper): `TXDATA` exposes a send
+//! queue whose read view carries a *full* flag in bit 31, `RXDATA` exposes
+//! a receive queue whose read view carries an *empty* flag in bit 31, and
+//! software detects peripheral-initiated changes purely by polling. One
+//! deliberate simplification is chip-select control: instead of the
+//! FE310's `csmode` AUTO/HOLD/OFF encoding, writing 1/0 to [`CSMODE`]
+//! asserts/deasserts the (single) chip select, which is what the LAN9250
+//! driver needs for command framing.
+//!
+//! Transfers take [`SpiConfig::cycles_per_byte`] device ticks per byte, so
+//! polling loops in drivers actually spin — giving the latency that the
+//! §7.2.1 performance reproduction measures.
+
+use std::collections::VecDeque;
+
+/// Register offsets within the SPI controller's MMIO window.
+/// Serial clock divisor (accepted and ignored by the model).
+pub const SCKDIV: u32 = 0x00;
+/// Chip-select control: write 1 to assert, 0 to deassert.
+pub const CSMODE: u32 = 0x18;
+/// Transmit data: write a byte to enqueue; read for the full flag (bit 31).
+pub const TXDATA: u32 = 0x48;
+/// Receive data: read pops a byte; bit 31 set means empty.
+pub const RXDATA: u32 = 0x4C;
+
+/// Bit 31: the flag bit in `TXDATA` (full) and `RXDATA` (empty) reads.
+pub const FLAG: u32 = 0x8000_0000;
+
+const FIFO_DEPTH: usize = 8;
+
+/// The device on the other end of the SPI wires.
+///
+/// SPI is synchronous and bidirectional: each exchanged byte clocks one
+/// byte in each direction.
+pub trait SpiSlave {
+    /// Exchanges one byte (full duplex): consumes `mosi`, returns MISO.
+    fn exchange(&mut self, mosi: u8) -> u8;
+
+    /// Chip select was deasserted: the current command frame ends.
+    fn cs_high(&mut self) {}
+
+    /// One device-time tick.
+    fn tick(&mut self) {}
+}
+
+/// SPI timing configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpiConfig {
+    /// Device ticks one byte transfer occupies (8 models one bit per tick).
+    pub cycles_per_byte: u32,
+}
+
+impl Default for SpiConfig {
+    fn default() -> SpiConfig {
+        SpiConfig { cycles_per_byte: 8 }
+    }
+}
+
+/// The SPI controller with an attached slave.
+#[derive(Clone, Debug)]
+pub struct Spi<S> {
+    /// The attached peripheral (the LAN9250 in the lightbulb system).
+    pub slave: S,
+    tx: VecDeque<u8>,
+    rx: VecDeque<u8>,
+    in_flight: Option<u8>,
+    busy: u32,
+    cs_active: bool,
+    sckdiv: u32,
+    config: SpiConfig,
+}
+
+impl<S: SpiSlave> Spi<S> {
+    /// Creates a controller over `slave`.
+    pub fn new(slave: S, config: SpiConfig) -> Spi<S> {
+        Spi {
+            slave,
+            tx: VecDeque::new(),
+            rx: VecDeque::new(),
+            in_flight: None,
+            busy: 0,
+            cs_active: false,
+            sckdiv: 0,
+            config,
+        }
+    }
+
+    /// MMIO register read.
+    pub fn read(&mut self, offset: u32) -> u32 {
+        match offset {
+            SCKDIV => self.sckdiv,
+            CSMODE => self.cs_active as u32,
+            TXDATA if self.tx.len() >= FIFO_DEPTH => FLAG,
+            RXDATA => match self.rx.pop_front() {
+                Some(b) => b as u32,
+                None => FLAG,
+            },
+            _ => 0,
+        }
+    }
+
+    /// MMIO register write.
+    pub fn write(&mut self, offset: u32, value: u32) {
+        match offset {
+            SCKDIV => self.sckdiv = value,
+            CSMODE => {
+                let assert = value & 1 == 1;
+                if self.cs_active && !assert {
+                    self.slave.cs_high();
+                }
+                self.cs_active = assert;
+            }
+            TXDATA if self.tx.len() < FIFO_DEPTH => {
+                self.tx.push_back(value as u8);
+            }
+            // Writes while full are dropped, as on real queues.
+            _ => {}
+        }
+    }
+
+    /// One device tick: progress the current transfer or start a new one.
+    /// A byte's response appears exactly [`SpiConfig::cycles_per_byte`]
+    /// ticks after its transfer begins — the wire is genuinely occupied for
+    /// that long, which is what makes the system SPI-bound when the wire is
+    /// slow (§7.2.1).
+    pub fn tick(&mut self) {
+        self.slave.tick();
+        if self.in_flight.is_none() {
+            if let Some(mosi) = self.tx.pop_front() {
+                self.in_flight = Some(mosi);
+                self.busy = self.config.cycles_per_byte.max(1);
+            }
+        }
+        if let Some(mosi) = self.in_flight {
+            self.busy -= 1;
+            if self.busy == 0 {
+                let miso = if self.cs_active {
+                    self.slave.exchange(mosi)
+                } else {
+                    0xFF // nothing selected: the bus floats high
+                };
+                if self.rx.len() < FIFO_DEPTH {
+                    self.rx.push_back(miso);
+                }
+                self.in_flight = None;
+            }
+        }
+    }
+
+    /// True while a transfer is in flight or queued.
+    pub fn busy(&self) -> bool {
+        self.in_flight.is_some() || !self.tx.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo slave: returns the previous MOSI byte (classic SPI behavior).
+    #[derive(Default)]
+    struct Echo {
+        last: u8,
+        deselects: u32,
+    }
+    impl SpiSlave for Echo {
+        fn exchange(&mut self, mosi: u8) -> u8 {
+            let out = self.last;
+            self.last = mosi;
+            out
+        }
+        fn cs_high(&mut self) {
+            self.deselects += 1;
+        }
+    }
+
+    fn ticked(spi: &mut Spi<Echo>, n: u32) {
+        for _ in 0..n {
+            spi.tick();
+        }
+    }
+
+    #[test]
+    fn transfer_takes_time_and_echoes() {
+        let mut spi = Spi::new(Echo::default(), SpiConfig { cycles_per_byte: 4 });
+        spi.write(CSMODE, 1);
+        spi.write(TXDATA, 0xAB);
+        assert_eq!(spi.read(RXDATA), FLAG, "nothing received yet");
+        ticked(&mut spi, 3);
+        assert_eq!(spi.read(RXDATA), FLAG, "the wire is still busy");
+        ticked(&mut spi, 1);
+        assert_eq!(spi.read(RXDATA) & 0xFF, 0x00, "echo of initial state");
+        spi.write(TXDATA, 0xCD);
+        ticked(&mut spi, 4);
+        assert_eq!(spi.read(RXDATA), 0xAB, "echo of the first byte");
+        assert!(!spi.busy());
+    }
+
+    #[test]
+    fn rxdata_reports_empty_with_flag() {
+        let mut spi = Spi::new(Echo::default(), SpiConfig::default());
+        assert_eq!(spi.read(RXDATA), FLAG);
+    }
+
+    #[test]
+    fn txdata_full_flag() {
+        let mut spi = Spi::new(Echo::default(), SpiConfig::default());
+        for i in 0..FIFO_DEPTH {
+            assert_eq!(spi.read(TXDATA), 0, "not full at {i}");
+            spi.write(TXDATA, i as u32);
+        }
+        assert_eq!(spi.read(TXDATA), FLAG, "now full");
+        // Excess writes are dropped, not wrapped.
+        spi.write(TXDATA, 0x99);
+        assert_eq!(spi.read(TXDATA), FLAG);
+    }
+
+    #[test]
+    fn deassert_notifies_slave() {
+        let mut spi = Spi::new(Echo::default(), SpiConfig::default());
+        spi.write(CSMODE, 1);
+        spi.write(CSMODE, 0);
+        spi.write(CSMODE, 0); // no edge, no extra notification
+        assert_eq!(spi.slave.deselects, 1);
+        assert_eq!(spi.read(CSMODE), 0);
+    }
+
+    #[test]
+    fn unselected_transfers_read_ones() {
+        let mut spi = Spi::new(Echo::default(), SpiConfig { cycles_per_byte: 1 });
+        spi.write(TXDATA, 0x55);
+        ticked(&mut spi, 1);
+        assert_eq!(spi.read(RXDATA), 0xFF);
+        assert_eq!(spi.slave.last, 0, "slave never saw the byte");
+    }
+
+    #[test]
+    fn pipelined_use_queues_multiple_bytes() {
+        // The FE310 pipelining pattern (§7.2.1): enqueue several TX bytes,
+        // then drain the responses.
+        let mut spi = Spi::new(Echo::default(), SpiConfig { cycles_per_byte: 2 });
+        spi.write(CSMODE, 1);
+        for b in [1u8, 2, 3, 4] {
+            spi.write(TXDATA, b as u32);
+        }
+        ticked(&mut spi, 8); // 4 bytes × 2 cycles, fully overlapped
+        let got: Vec<u32> = (0..4).map(|_| spi.read(RXDATA)).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Traffic generation: valid lightbulb commands and adversarial frames.
+//!
+//! The end-to-end theorem promises that "any unexpected packet, no matter
+//! how maliciously malformed at any layer, is ignored" (§3). This module
+//! produces those packets: well-formed on/off commands, plus a frame
+//! malformed at each protocol layer — including the oversized frame that
+//! exploited the buffer overrun in the paper's unverified prototype
+//! (§1, §3).
+
+use crate::ethernet::{build_udp_frame, FrameSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The UDP port the lightbulb application listens on.
+pub const LIGHTBULB_PORT: u16 = 4040;
+
+/// Ways a frame can be malformed, one per protocol layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Malformation {
+    /// Shorter than the Ethernet+IP+UDP headers.
+    TooShort,
+    /// EtherType is not IPv4.
+    BadEthertype,
+    /// IP protocol is not UDP.
+    NotUdp,
+    /// Correct UDP packet to the wrong port.
+    WrongPort,
+    /// No payload at all (no command byte to read).
+    EmptyPayload,
+    /// Larger than the driver's receive buffer (the overrun attack).
+    GiantFrame,
+    /// Uniformly random bytes.
+    RandomJunk,
+}
+
+impl Malformation {
+    /// Every malformation, for exhaustive sweeps.
+    pub const ALL: [Malformation; 7] = [
+        Malformation::TooShort,
+        Malformation::BadEthertype,
+        Malformation::NotUdp,
+        Malformation::WrongPort,
+        Malformation::EmptyPayload,
+        Malformation::GiantFrame,
+        Malformation::RandomJunk,
+    ];
+}
+
+/// A deterministic, seedable traffic generator.
+#[derive(Debug)]
+pub struct TrafficGen {
+    rng: StdRng,
+}
+
+impl TrafficGen {
+    /// Creates a generator from a seed (same seed ⇒ same traffic).
+    pub fn new(seed: u64) -> TrafficGen {
+        TrafficGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn base_spec(&mut self) -> FrameSpec {
+        FrameSpec {
+            src_port: self.rng.random_range(1024..u16::MAX),
+            dst_port: LIGHTBULB_PORT,
+            ..FrameSpec::default()
+        }
+    }
+
+    /// A valid lightbulb command: payload byte 0 carries the on/off bit,
+    /// followed by a little random padding.
+    pub fn command(&mut self, on: bool) -> Vec<u8> {
+        let mut payload = vec![on as u8 | (self.rng.random::<u8>() & 0xFE)];
+        let extra = self.rng.random_range(0..16);
+        for _ in 0..extra {
+            payload.push(self.rng.random());
+        }
+        build_udp_frame(&FrameSpec {
+            payload,
+            ..self.base_spec()
+        })
+    }
+
+    /// A frame malformed in the given way.
+    pub fn malformed(&mut self, kind: Malformation) -> Vec<u8> {
+        match kind {
+            Malformation::TooShort => {
+                let n = self.rng.random_range(1..crate::ethernet::HEADERS_LEN);
+                let f = self.command(true);
+                f[..n].to_vec()
+            }
+            Malformation::BadEthertype => {
+                let mut f = self.command(true);
+                f[12] = 0x86;
+                f[13] = 0xDD; // IPv6
+                f
+            }
+            Malformation::NotUdp => {
+                let mut f = self.command(true);
+                f[23] = 6; // TCP
+                f
+            }
+            Malformation::WrongPort => {
+                let spec = FrameSpec {
+                    dst_port: LIGHTBULB_PORT + 1,
+                    payload: vec![1],
+                    ..self.base_spec()
+                };
+                build_udp_frame(&spec)
+            }
+            Malformation::EmptyPayload => build_udp_frame(&FrameSpec {
+                payload: vec![],
+                ..self.base_spec()
+            }),
+            Malformation::GiantFrame => {
+                let len = self.rng.random_range(1521..4000usize);
+                let mut payload = vec![1u8];
+                payload.resize(len - crate::ethernet::HEADERS_LEN, 0x41);
+                build_udp_frame(&FrameSpec {
+                    payload,
+                    ..self.base_spec()
+                })
+            }
+            Malformation::RandomJunk => {
+                let n = self.rng.random_range(1..200usize);
+                (0..n).map(|_| self.rng.random()).collect()
+            }
+        }
+    }
+
+    /// A random mixture of valid and malformed frames, with the list of
+    /// expected lightbulb states for the valid ones in order.
+    pub fn mixed(&mut self, count: usize) -> (Vec<Vec<u8>>, Vec<bool>) {
+        let mut frames = Vec::with_capacity(count);
+        let mut expected = Vec::new();
+        for _ in 0..count {
+            if self.rng.random_bool(0.5) {
+                let on = self.rng.random_bool(0.5);
+                frames.push(self.command(on));
+                expected.push(on);
+            } else {
+                let kind = Malformation::ALL[self.rng.random_range(0..Malformation::ALL.len())];
+                frames.push(self.malformed(kind));
+            }
+        }
+        (frames, expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::{parse_udp_frame, ParseError};
+
+    #[test]
+    fn commands_parse_and_carry_the_bit() {
+        let mut g = TrafficGen::new(7);
+        for on in [true, false] {
+            let f = g.command(on);
+            let p = parse_udp_frame(&f).unwrap();
+            assert_eq!(p.dst_port, LIGHTBULB_PORT);
+            assert_eq!(p.payload[0] & 1, on as u8);
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = TrafficGen::new(42).command(true);
+        let b = TrafficGen::new(42).command(true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn malformed_frames_fail_reference_validation() {
+        let mut g = TrafficGen::new(1);
+        for kind in Malformation::ALL {
+            let f = g.malformed(kind);
+            let ok_for_lightbulb = match parse_udp_frame(&f) {
+                Ok(p) => p.dst_port == LIGHTBULB_PORT && !p.payload.is_empty() && f.len() <= 1520,
+                Err(_) => false,
+            };
+            assert!(!ok_for_lightbulb, "{kind:?} should not be acceptable");
+        }
+    }
+
+    #[test]
+    fn giant_frames_exceed_the_buffer() {
+        let mut g = TrafficGen::new(3);
+        let f = g.malformed(Malformation::GiantFrame);
+        assert!(f.len() > 1520);
+        // And they are otherwise VALID udp — the length is the only issue,
+        // which is exactly what makes them dangerous.
+        assert!(parse_udp_frame(&f).is_ok());
+    }
+
+    #[test]
+    fn too_short_really_is_short() {
+        let mut g = TrafficGen::new(4);
+        for _ in 0..20 {
+            let f = g.malformed(Malformation::TooShort);
+            assert_eq!(parse_udp_frame(&f), Err(ParseError::TooShort));
+        }
+    }
+
+    #[test]
+    fn mixed_reports_expected_states() {
+        let mut g = TrafficGen::new(5);
+        let (frames, expected) = g.mixed(50);
+        assert_eq!(frames.len(), 50);
+        let valid = frames
+            .iter()
+            .filter(|f| {
+                parse_udp_frame(f).is_ok_and(|p| {
+                    p.dst_port == LIGHTBULB_PORT && !p.payload.is_empty() && f.len() <= 1520
+                })
+            })
+            .count();
+        assert_eq!(valid, expected.len());
+    }
+}

@@ -1,0 +1,133 @@
+//! Bounded FIFOs connecting pipeline stages.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO with the Bluespec-style interface: `enq` is only legal
+/// when not full, `deq`/`first` only when not empty; the guards are
+/// exposed so rules can check their own readiness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Fifo<T> {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Fifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// True when an `enq` would be legal.
+    pub fn can_enq(&self) -> bool {
+        self.items.len() < self.capacity
+    }
+
+    /// True when a `deq` or `first` would be legal.
+    pub fn can_deq(&self) -> bool {
+        !self.items.is_empty()
+    }
+
+    /// Enqueues an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full — rules must check [`Fifo::can_enq`] in their
+    /// guard, as the corresponding hardware method is only *ready* when
+    /// not full.
+    pub fn enq(&mut self, item: T) {
+        assert!(self.can_enq(), "enq on full FIFO");
+        self.items.push_back(item);
+    }
+
+    /// Dequeues the oldest element.
+    ///
+    /// # Panics
+    ///
+    /// Panics when empty.
+    pub fn deq(&mut self) -> T {
+        self.items.pop_front().expect("deq on empty FIFO")
+    }
+
+    /// The oldest element without removing it.
+    pub fn first(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Number of buffered elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Discards all contents (used by pipeline flushes).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterates oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_guards() {
+        let mut f = Fifo::new(2);
+        assert!(f.can_enq());
+        assert!(!f.can_deq());
+        f.enq(1);
+        f.enq(2);
+        assert!(!f.can_enq());
+        assert_eq!(f.first(), Some(&1));
+        assert_eq!(f.deq(), 1);
+        assert_eq!(f.deq(), 2);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "enq on full FIFO")]
+    fn enq_full_panics() {
+        let mut f = Fifo::new(1);
+        f.enq(1);
+        f.enq(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "deq on empty FIFO")]
+    fn deq_empty_panics() {
+        let mut f: Fifo<u32> = Fifo::new(1);
+        f.deq();
+    }
+
+    #[test]
+    fn clear_flushes() {
+        let mut f = Fifo::new(4);
+        f.enq(1);
+        f.enq(2);
+        f.clear();
+        assert!(f.is_empty());
+        assert!(f.can_enq());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Fifo::<u32>::new(0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Cycle-stamped trace labels.
+//!
+//! Kami models behavior as the set of label traces a module can produce;
+//! for our processors the labels that matter are the external method calls
+//! for MMIO, which are [`riscv_spec::MmioEvent`]s. Refinement between the
+//! pipelined processor and its single-cycle spec is stated (and checked)
+//! over the *projection* of these traces to their events — the cycle stamps
+//! exist for diagnostics and performance measurement only.
+
+use riscv_spec::MmioEvent;
+
+/// One label: an MMIO method call observed at a given hardware cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Hardware cycle at which the method call fired.
+    pub cycle: u64,
+    /// The observable event.
+    pub event: MmioEvent,
+}
+
+/// A label trace, oldest first.
+pub type LabelTrace = Vec<TraceEvent>;
+
+/// Projects a label trace to its bare events (dropping cycle stamps), the
+/// form in which traces are compared for refinement and fed to the
+/// top-level `goodHlTrace` specification.
+pub fn project(trace: &[TraceEvent]) -> Vec<MmioEvent> {
+    trace.iter().map(|t| t.event).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_drops_cycles() {
+        let t = vec![
+            TraceEvent {
+                cycle: 3,
+                event: MmioEvent::load(0x10, 1),
+            },
+            TraceEvent {
+                cycle: 9,
+                event: MmioEvent::store(0x14, 2),
+            },
+        ];
+        assert_eq!(
+            project(&t),
+            vec![MmioEvent::load(0x10, 1), MmioEvent::store(0x14, 2)]
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! A Kami-flavored hardware simulation framework.
+//!
+//! Kami [Choi et al., ICFP 2017] models hardware as modules with private
+//! registers, *rules* that make atomic state changes, and methods; behavior
+//! is a set of label traces under **one-rule-at-a-time** semantics (§5.7 of
+//! the PLDI 2021 paper). This crate provides the executable analogues used
+//! by the `processor` crate:
+//!
+//! * [`Fifo`] — the bounded FIFOs that connect pipeline stages (the ■ boxes
+//!   of Figure 4);
+//! * [`RegFile`] and [`Scoreboard`] — the register file and the busy-bit
+//!   interlock;
+//! * [`BeMemory`] — a word-addressed memory port with *byte enables*, the
+//!   signal the paper's authors had to add to support `lb`/`sb` (§5.5);
+//! * [`RuleBased`] and [`Scheduler`] — rule-style execution: a module
+//!   exposes named rules, and a scheduler cycle fires each enabled rule
+//!   once, in priority order, which is one valid serialization of the
+//!   concurrent hardware (the Bluespec compiler guarantee the paper relies
+//!   on);
+//! * [`TraceEvent`] — cycle-stamped labels; the MMIO method-call labels are
+//!   the observable behavior refinement is stated over.
+
+pub mod fifo;
+pub mod label;
+pub mod mem;
+pub mod module;
+pub mod regfile;
+
+pub use fifo::Fifo;
+pub use label::{LabelTrace, TraceEvent};
+pub use mem::BeMemory;
+pub use module::{RuleBased, RuleOutcome, Scheduler};
+pub use regfile::{RegFile, Scoreboard};

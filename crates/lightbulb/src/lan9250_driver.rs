@@ -1,0 +1,426 @@
+//! The LAN9250 Ethernet driver, written in Bedrock2 (the `LAN9250` source
+//! file of §5.1).
+//!
+//! * `lan_readword(addr) -> (w, err)` / `lan_writeword(addr, w) -> err` —
+//!   one register access over the SPI command protocol (command byte,
+//!   2-byte big-endian address, 4 data bytes little-endian), framed by
+//!   chip-select writes. Two build flavors: interleaved byte exchanges
+//!   (the verified configuration) or the pipelined FIFO discipline
+//!   (the §7.2.1 baseline optimization).
+//! * `lan_init() -> err` — the bring-up incantations `BootSeq` describes:
+//!   poll `BYTE_TEST` for the magic value, poll `HW_CFG` for READY, then
+//!   enable reception through the MAC CSR indirection.
+//! * `lan_tryrecv(buf) -> (len, code)` — poll for a frame; `code` is
+//!   0 = frame of `len` bytes copied into `buf`, 1 = nothing pending,
+//!   2 = frame rejected by the *length guard* (too short to hold a
+//!   command, or too big for the 1520-byte buffer — the check whose
+//!   absence let the paper's first prototype be exploited), 3 = SPI error.
+
+use crate::layout::{self, lan};
+use bedrock2::ast::{Expr, Function, Stmt};
+use bedrock2::dsl::*;
+
+/// Interleaved register read: 7 `spi_xchg` calls under one chip select.
+fn readword_interleaved() -> Function {
+    let body = block([
+        interact(&[], "MMIOWRITE", [lit(layout::SPI_CSMODE), lit(1)]),
+        call(&["d", "e0"], "spi_xchg", [lit(layout::CMD_READ)]),
+        call(&["d", "e1"], "spi_xchg", [sru(var("a"), lit(8))]),
+        call(&["d", "e2"], "spi_xchg", [and(var("a"), lit(0xFF))]),
+        call(&["b0", "e3"], "spi_xchg", [lit(0)]),
+        call(&["b1", "e4"], "spi_xchg", [lit(0)]),
+        call(&["b2", "e5"], "spi_xchg", [lit(0)]),
+        call(&["b3", "e6"], "spi_xchg", [lit(0)]),
+        interact(&[], "MMIOWRITE", [lit(layout::SPI_CSMODE), lit(0)]),
+        set(
+            "w",
+            or(
+                or(var("b0"), slu(var("b1"), lit(8))),
+                or(slu(var("b2"), lit(16)), slu(var("b3"), lit(24))),
+            ),
+        ),
+        set(
+            "err",
+            or(
+                or(or(var("e0"), var("e1")), or(var("e2"), var("e3"))),
+                or(or(var("e4"), var("e5")), var("e6")),
+            ),
+        ),
+    ]);
+    Function::new("lan_readword", &["a"], &["w", "err"], body)
+}
+
+/// Pipelined register read: queue the whole 7-byte command, then drain the
+/// 7 responses (the FE310 pipelining pattern of §7.2.1).
+fn readword_pipelined() -> Function {
+    let body = block([
+        interact(&[], "MMIOWRITE", [lit(layout::SPI_CSMODE), lit(1)]),
+        call(&["e0"], "spi_put", [lit(layout::CMD_READ)]),
+        call(&["e1"], "spi_put", [sru(var("a"), lit(8))]),
+        call(&["e2"], "spi_put", [and(var("a"), lit(0xFF))]),
+        call(&["e3"], "spi_put", [lit(0)]),
+        call(&["e4"], "spi_put", [lit(0)]),
+        call(&["e5"], "spi_put", [lit(0)]),
+        call(&["e6"], "spi_put", [lit(0)]),
+        call(&["d", "f0"], "spi_get", []),
+        call(&["d", "f1"], "spi_get", []),
+        call(&["d", "f2"], "spi_get", []),
+        call(&["b0", "f3"], "spi_get", []),
+        call(&["b1", "f4"], "spi_get", []),
+        call(&["b2", "f5"], "spi_get", []),
+        call(&["b3", "f6"], "spi_get", []),
+        interact(&[], "MMIOWRITE", [lit(layout::SPI_CSMODE), lit(0)]),
+        set(
+            "w",
+            or(
+                or(var("b0"), slu(var("b1"), lit(8))),
+                or(slu(var("b2"), lit(16)), slu(var("b3"), lit(24))),
+            ),
+        ),
+        set(
+            "err",
+            or(
+                or(
+                    or(or(var("e0"), var("e1")), or(var("e2"), var("e3"))),
+                    or(or(var("e4"), var("e5")), var("e6")),
+                ),
+                or(
+                    or(or(var("f0"), var("f1")), or(var("f2"), var("f3"))),
+                    or(or(var("f4"), var("f5")), var("f6")),
+                ),
+            ),
+        ),
+    ]);
+    Function::new("lan_readword", &["a"], &["w", "err"], body)
+}
+
+/// Interleaved register write.
+fn writeword_interleaved() -> Function {
+    let body = block([
+        interact(&[], "MMIOWRITE", [lit(layout::SPI_CSMODE), lit(1)]),
+        call(&["d", "e0"], "spi_xchg", [lit(layout::CMD_WRITE)]),
+        call(&["d", "e1"], "spi_xchg", [sru(var("a"), lit(8))]),
+        call(&["d", "e2"], "spi_xchg", [and(var("a"), lit(0xFF))]),
+        call(&["d", "e3"], "spi_xchg", [and(var("w"), lit(0xFF))]),
+        call(
+            &["d", "e4"],
+            "spi_xchg",
+            [and(sru(var("w"), lit(8)), lit(0xFF))],
+        ),
+        call(
+            &["d", "e5"],
+            "spi_xchg",
+            [and(sru(var("w"), lit(16)), lit(0xFF))],
+        ),
+        call(&["d", "e6"], "spi_xchg", [sru(var("w"), lit(24))]),
+        interact(&[], "MMIOWRITE", [lit(layout::SPI_CSMODE), lit(0)]),
+        set(
+            "err",
+            or(
+                or(or(var("e0"), var("e1")), or(var("e2"), var("e3"))),
+                or(or(var("e4"), var("e5")), var("e6")),
+            ),
+        ),
+    ]);
+    Function::new("lan_writeword", &["a", "w"], &["err"], body)
+}
+
+/// Pipelined register write: queue everything, then drain the junk
+/// responses to keep the RX queue aligned.
+fn writeword_pipelined() -> Function {
+    let mut stmts = vec![
+        interact(&[], "MMIOWRITE", [lit(layout::SPI_CSMODE), lit(1)]),
+        call(&["e0"], "spi_put", [lit(layout::CMD_WRITE)]),
+        call(&["e1"], "spi_put", [sru(var("a"), lit(8))]),
+        call(&["e2"], "spi_put", [and(var("a"), lit(0xFF))]),
+        call(&["e3"], "spi_put", [and(var("w"), lit(0xFF))]),
+        call(&["e4"], "spi_put", [and(sru(var("w"), lit(8)), lit(0xFF))]),
+        call(&["e5"], "spi_put", [and(sru(var("w"), lit(16)), lit(0xFF))]),
+        call(&["e6"], "spi_put", [sru(var("w"), lit(24))]),
+    ];
+    for k in 0..7 {
+        stmts.push(call(&["d", &format!("f{k}")], "spi_get", []));
+    }
+    stmts.push(interact(
+        &[],
+        "MMIOWRITE",
+        [lit(layout::SPI_CSMODE), lit(0)],
+    ));
+    stmts.push(set(
+        "err",
+        or(
+            or(
+                or(or(var("e0"), var("e1")), or(var("e2"), var("e3"))),
+                or(or(var("e4"), var("e5")), var("e6")),
+            ),
+            or(
+                or(or(var("f0"), var("f1")), or(var("f2"), var("f3"))),
+                or(or(var("f4"), var("f5")), var("f6")),
+            ),
+        ),
+    ));
+    Function::new("lan_writeword", &["a", "w"], &["err"], block(stmts))
+}
+
+/// A bring-up polling loop: `lan_readword(reg)` until `done(v)` or the
+/// timeout budget runs out; leaves the last value in `v` and accumulates
+/// SPI errors in `e`.
+fn init_poll(reg: u16, done: impl Fn(Expr) -> Expr, timeouts: bool) -> Vec<Stmt> {
+    let not_done = |v: Expr| eq(done(v), lit(0));
+    if timeouts {
+        vec![
+            set("i", lit(layout::INIT_TIMEOUT)),
+            call(&["v", "e"], "lan_readword", [lit(reg as u32)]),
+            while_(
+                and(not_done(var("v")), ltu(lit(0), var("i"))),
+                block([
+                    set("i", sub(var("i"), lit(1))),
+                    call(&["v", "e"], "lan_readword", [lit(reg as u32)]),
+                ]),
+            ),
+            set("err", or(var("err"), or(var("e"), not_done(var("v"))))),
+        ]
+    } else {
+        vec![
+            call(&["v", "e"], "lan_readword", [lit(reg as u32)]),
+            while_(
+                not_done(var("v")),
+                call(&["v", "e"], "lan_readword", [lit(reg as u32)]),
+            ),
+            set("err", or(var("err"), var("e"))),
+        ]
+    }
+}
+
+/// `lan_init() -> err`: the BootSeq incantations.
+pub fn lan_init(timeouts: bool) -> Function {
+    let mut body = vec![set("err", lit(0))];
+    // 1. Wait for the chip to answer with the BYTE_TEST magic.
+    body.extend(init_poll(
+        lan::BYTE_TEST,
+        |v| eq(v, lit(layout::BYTE_TEST_MAGIC)),
+        timeouts,
+    ));
+    // 2. Wait for HW_CFG READY.
+    body.extend(init_poll(
+        lan::HW_CFG,
+        |v| ne(and(v, lit(layout::HW_CFG_READY)), lit(0)),
+        timeouts,
+    ));
+    // 3. Enable reception: MAC_CR.RXEN via the CSR indirection.
+    body.push(call(
+        &["e"],
+        "lan_writeword",
+        [lit(lan::MAC_CSR_DATA as u32), lit(layout::MAC_CR_RXEN)],
+    ));
+    body.push(set("err", or(var("err"), var("e"))));
+    body.push(call(
+        &["e"],
+        "lan_writeword",
+        [
+            lit(lan::MAC_CSR_CMD as u32),
+            lit(layout::MAC_CSR_BUSY | layout::MAC_CR),
+        ],
+    ));
+    body.push(set("err", or(var("err"), var("e"))));
+    // 4. Wait for the CSR command to complete.
+    body.extend(init_poll(
+        lan::MAC_CSR_CMD,
+        |v| eq(sru(v, lit(31)), lit(0)),
+        timeouts,
+    ));
+    Function::new("lan_init", &[], &["err"], block(body))
+}
+
+/// `lan_tryrecv(buf) -> (len, code)`.
+pub fn lan_tryrecv() -> Function {
+    let body = block([
+        set("code", lit(0)),
+        set("len", lit(0)),
+        call(
+            &["info", "e"],
+            "lan_readword",
+            [lit(lan::RX_FIFO_INF as u32)],
+        ),
+        if_(
+            var("e"),
+            set("code", lit(3)),
+            if_(
+                eq(and(sru(var("info"), lit(16)), lit(0xFF)), lit(0)),
+                set("code", lit(1)),
+                block([
+                    call(
+                        &["st", "e"],
+                        "lan_readword",
+                        [lit(lan::RX_STATUS_FIFO as u32)],
+                    ),
+                    if_(
+                        var("e"),
+                        set("code", lit(3)),
+                        block([
+                            set("len", and(sru(var("st"), lit(16)), lit(0x3FFF))),
+                            if_(
+                                or(
+                                    ltu(var("len"), lit(layout::MIN_FRAME_BYTES)),
+                                    ltu(lit(layout::RX_BUFFER_BYTES), var("len")),
+                                ),
+                                block([
+                                    // Reject without copying: discard in
+                                    // the device (the length guard that
+                                    // prevents the buffer overrun).
+                                    call(
+                                        &["e"],
+                                        "lan_writeword",
+                                        [lit(lan::RX_DP_CTRL as u32), lit(layout::RX_DP_DISCARD)],
+                                    ),
+                                    set("code", lit(2)),
+                                ]),
+                                block([
+                                    set("n", divu(add(var("len"), lit(3)), lit(4))),
+                                    set("i", lit(0)),
+                                    set("eacc", lit(0)),
+                                    while_(
+                                        ltu(var("i"), var("n")),
+                                        block([
+                                            call(
+                                                &["w", "e"],
+                                                "lan_readword",
+                                                [lit(lan::RX_DATA_FIFO as u32)],
+                                            ),
+                                            store4(
+                                                add(var("buf"), mul(var("i"), lit(4))),
+                                                var("w"),
+                                            ),
+                                            set("eacc", or(var("eacc"), var("e"))),
+                                            set("i", add(var("i"), lit(1))),
+                                        ]),
+                                    ),
+                                    when(var("eacc"), set("code", lit(3))),
+                                ]),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ),
+        ),
+    ]);
+    Function::new("lan_tryrecv", &["buf"], &["len", "code"], body)
+}
+
+/// All LAN9250 driver functions for the given configuration.
+pub fn functions(timeouts: bool, pipelined: bool) -> Vec<Function> {
+    let (rd, wr) = if pipelined {
+        (readword_pipelined(), writeword_pipelined())
+    } else {
+        (readword_interleaved(), writeword_interleaved())
+    };
+    vec![rd, wr, lan_init(timeouts), lan_tryrecv()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ext::MmioBridge;
+    use bedrock2::semantics::Interp;
+    use bedrock2::Program;
+    use devices::Board;
+    use riscv_spec::Memory;
+
+    fn program(timeouts: bool, pipelined: bool) -> Program {
+        let mut fns = crate::spi_driver::functions(timeouts);
+        fns.extend(functions(timeouts, pipelined));
+        Program::from_functions(fns)
+    }
+
+    fn fresh_interp(p: &Program, pipelined: bool) -> Interp<'_, MmioBridge<Board>> {
+        let _ = pipelined;
+        let board = Board::default();
+        Interp::new(p, Memory::with_size(0x1000), MmioBridge::new(board))
+    }
+
+    #[test]
+    fn init_then_readback_works_in_both_flavors() {
+        for pipelined in [false, true] {
+            let p = program(true, pipelined);
+            let mut i = fresh_interp(&p, pipelined);
+            let out = i.call("lan_init", &[]).unwrap();
+            assert_eq!(out, vec![0], "init must succeed (pipelined={pipelined})");
+            assert!(i.ext.dev.spi.slave.rx_enabled());
+            let out = i.call("lan_readword", &[lan::BYTE_TEST as u32]).unwrap();
+            assert_eq!(out, vec![layout::BYTE_TEST_MAGIC, 0]);
+        }
+    }
+
+    #[test]
+    fn tryrecv_reports_nothing_pending() {
+        let p = program(true, false);
+        let mut i = fresh_interp(&p, false);
+        i.call("lan_init", &[]).unwrap();
+        let out = i.call("lan_tryrecv", &[0x100]).unwrap();
+        assert_eq!(out, vec![0, 1], "(len, code=1 nothing)");
+    }
+
+    #[test]
+    fn tryrecv_copies_a_frame_into_the_buffer() {
+        let p = program(true, false);
+        let mut i = fresh_interp(&p, false);
+        i.call("lan_init", &[]).unwrap();
+        let frame: Vec<u8> = (0..50u8).collect();
+        i.ext.dev.inject_frame(&frame);
+        let out = i.call("lan_tryrecv", &[0x100]).unwrap();
+        assert_eq!(out, vec![50, 0]);
+        assert_eq!(i.mem.load_bytes(0x100, 50).unwrap(), &frame[..]);
+    }
+
+    #[test]
+    fn tryrecv_rejects_giant_frames_without_copying() {
+        let p = program(true, false);
+        let mut i = fresh_interp(&p, false);
+        i.call("lan_init", &[]).unwrap();
+        i.ext.dev.inject_frame(&vec![0xAA; 1600]);
+        let out = i.call("lan_tryrecv", &[0x100]).unwrap();
+        assert_eq!(out[1], 2, "code=2 rejected");
+        assert_eq!(i.ext.dev.spi.slave.frames_discarded, 1);
+        // Nothing was copied: the buffer area is untouched.
+        assert!(i.mem.load_bytes(0x100, 16).unwrap().iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn tryrecv_rejects_too_short_frames() {
+        let p = program(true, false);
+        let mut i = fresh_interp(&p, false);
+        i.call("lan_init", &[]).unwrap();
+        i.ext.dev.inject_frame(&[1, 2, 3]);
+        let out = i.call("lan_tryrecv", &[0x100]).unwrap();
+        assert_eq!(out[1], 2);
+    }
+
+    #[test]
+    fn init_times_out_on_a_dead_chip() {
+        // A board whose LAN9250 never becomes ready: no ticks ever happen
+        // beyond the per-call one, but BYTE_TEST needs 16 — make the chip
+        // unreachable instead by not asserting... simplest: run init with
+        // the device brand new and a tiny SPI so polling dominates; the
+        // readiness countdown elapses during SPI polling, so instead use a
+        // bridge that never ticks.
+        #[derive(Clone)]
+        struct DeadSpi;
+        impl riscv_spec::MmioHandler for DeadSpi {
+            fn is_mmio(&self, addr: u32, _s: riscv_spec::AccessSize) -> bool {
+                devices::Board::claims(addr)
+            }
+            fn load(&mut self, addr: u32, _s: riscv_spec::AccessSize) -> u32 {
+                if addr == crate::layout::SPI_RXDATA {
+                    crate::layout::SPI_FLAG //forever empty: the chip never answers
+                } else {
+                    0
+                }
+            }
+            fn store(&mut self, _a: u32, _s: riscv_spec::AccessSize, _v: u32) {}
+        }
+        let p = program(true, false);
+        let mut i = Interp::new(&p, Memory::with_size(0x1000), MmioBridge::new(DeadSpi));
+        let out = i.call("lan_init", &[]).unwrap();
+        assert_eq!(out, vec![1], "err must be reported, not a hang");
+    }
+}

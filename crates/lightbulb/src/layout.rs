@@ -1,0 +1,110 @@
+//! The platform memory map and protocol constants, shared by the drivers
+//! (Bedrock2 code), the device models, and the trace specifications.
+//!
+//! Keeping one module that all three read is itself an integration-bug
+//! counter-measure: the classic failure mode this paper targets is two
+//! layers agreeing "in spirit" on an interface while differing in a
+//! constant.
+
+use devices::{GPIO_BASE, SPI_BASE};
+
+/// SPI serial-clock divisor register.
+pub const SPI_SCKDIV: u32 = SPI_BASE + devices::spi::SCKDIV;
+/// SPI chip-select control register.
+pub const SPI_CSMODE: u32 = SPI_BASE + devices::spi::CSMODE;
+/// SPI transmit-data register (bit 31 = full on read).
+pub const SPI_TXDATA: u32 = SPI_BASE + devices::spi::TXDATA;
+/// SPI receive-data register (bit 31 = empty on read).
+pub const SPI_RXDATA: u32 = SPI_BASE + devices::spi::RXDATA;
+/// The full/empty flag bit of the SPI data registers.
+pub const SPI_FLAG: u32 = devices::spi::FLAG;
+
+/// GPIO output-enable register.
+pub const GPIO_OUTPUT_EN: u32 = GPIO_BASE + devices::gpio::OUTPUT_EN;
+/// GPIO output-value register.
+pub const GPIO_OUTPUT_VAL: u32 = GPIO_BASE + devices::gpio::OUTPUT_VAL;
+/// The lightbulb's pin mask.
+pub const LIGHTBULB_MASK: u32 = 1 << devices::gpio::LIGHTBULB_PIN;
+
+/// LAN9250 register addresses (within its SPI-visible space).
+pub mod lan {
+    /// RX data FIFO.
+    pub const RX_DATA_FIFO: u16 = devices::lan9250::RX_DATA_FIFO;
+    /// RX status FIFO.
+    pub const RX_STATUS_FIFO: u16 = devices::lan9250::RX_STATUS_FIFO;
+    /// Liveness/endianness test register.
+    pub const BYTE_TEST: u16 = devices::lan9250::BYTE_TEST;
+    /// Hardware configuration (READY bit).
+    pub const HW_CFG: u16 = devices::lan9250::HW_CFG;
+    /// RX FIFO usage information.
+    pub const RX_FIFO_INF: u16 = devices::lan9250::RX_FIFO_INF;
+    /// MAC CSR command register.
+    pub const MAC_CSR_CMD: u16 = devices::lan9250::MAC_CSR_CMD;
+    /// MAC CSR data register.
+    pub const MAC_CSR_DATA: u16 = devices::lan9250::MAC_CSR_DATA;
+    /// RX datapath control (discard).
+    pub const RX_DP_CTRL: u16 = devices::lan9250::RX_DP_CTRL;
+}
+
+/// `BYTE_TEST` expected value.
+pub const BYTE_TEST_MAGIC: u32 = devices::lan9250::BYTE_TEST_MAGIC;
+/// `HW_CFG` READY bit.
+pub const HW_CFG_READY: u32 = devices::lan9250::HW_CFG_READY;
+/// MAC CSR busy/strobe bit.
+pub const MAC_CSR_BUSY: u32 = devices::lan9250::MAC_CSR_BUSY;
+/// MAC control register index.
+pub const MAC_CR: u32 = devices::lan9250::MAC_CR;
+/// MAC receive-enable bit.
+pub const MAC_CR_RXEN: u32 = devices::lan9250::MAC_CR_RXEN;
+/// RX datapath discard bit.
+pub const RX_DP_DISCARD: u32 = devices::lan9250::RX_DP_DISCARD;
+/// LAN9250 SPI read command byte.
+pub const CMD_READ: u32 = devices::lan9250::CMD_READ as u32;
+/// LAN9250 SPI write command byte.
+pub const CMD_WRITE: u32 = devices::lan9250::CMD_WRITE as u32;
+
+/// The driver's receive buffer size in bytes.
+pub const RX_BUFFER_BYTES: u32 = 1520;
+/// Minimum acceptable frame: Ethernet+IPv4+UDP headers plus one command
+/// byte.
+pub const MIN_FRAME_BYTES: u32 = 43;
+/// The UDP port the application accepts commands on.
+pub const LIGHTBULB_PORT: u32 = devices::workload::LIGHTBULB_PORT as u32;
+/// Byte offset of the command byte within a frame (first UDP payload byte).
+pub const CMD_BYTE_OFFSET: u32 = devices::ethernet::HEADERS_LEN as u32;
+
+/// Polling budget for SPI flag loops.
+pub const SPI_TIMEOUT: u32 = 64;
+/// Polling budget for device bring-up loops.
+pub const INIT_TIMEOUT: u32 = 64;
+
+/// The MMIO ranges software may touch — the `isMMIOAddr` of §6.2, used by
+/// both the external-call specification and the runtime bridge.
+pub fn mmio_ranges() -> Vec<(u32, u32)> {
+    devices::Board::mmio_ranges().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_land_in_their_windows() {
+        assert!(devices::Board::claims(SPI_TXDATA));
+        assert!(devices::Board::claims(SPI_RXDATA));
+        assert!(devices::Board::claims(GPIO_OUTPUT_VAL));
+        for (lo, hi) in mmio_ranges() {
+            assert!(lo < hi);
+            assert_eq!(lo % 4, 0);
+        }
+    }
+
+    #[test]
+    fn command_byte_offset_is_past_all_headers() {
+        assert_eq!(CMD_BYTE_OFFSET, 42);
+        assert_eq!(MIN_FRAME_BYTES, CMD_BYTE_OFFSET + 1);
+        // Word 10, lane 2 — the position the trace spec pins down.
+        assert_eq!(CMD_BYTE_OFFSET / 4, 10);
+        assert_eq!(CMD_BYTE_OFFSET % 4, 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! The verified-IoT-lightbulb application: drivers and event loop written
+//! in Bedrock2, the MMIO bridge that runs them against the device models,
+//! and the top-level trace specification `goodHlTrace`.
+//!
+//! This crate is the software half of the paper's case study (§3, §5.1):
+//!
+//! * [`layout`] — the platform memory map every layer shares;
+//! * [`spi_driver`] / [`lan9250_driver`] / [`app`] — the three Bedrock2
+//!   source files of the prototype, with the configuration knobs the
+//!   §7.2.1 evaluation varies (timeouts, SPI pipelining);
+//! * [`ext`] — the runtime instantiation of the `MMIOREAD`/`MMIOWRITE`
+//!   external-call specification, bridging the Bedrock2 interpreter to the
+//!   same device models the hardware simulations use;
+//! * [`spec`] — `BootSeq`, `Recv b`, `LightbulbCmd b`, `RecvInvalid`,
+//!   `PollNone`, and [`spec::good_hl_trace`] (§3.1).
+//!
+//! The `integration` crate compiles [`app::lightbulb_program`] and runs it
+//! on the processor models; here the same program runs on the Bedrock2
+//! interpreter, so the *source-level* and *machine-level* I/O traces can
+//! both be checked against the one specification.
+
+pub mod app;
+pub mod ext;
+pub mod lan9250_driver;
+pub mod layout;
+pub mod spec;
+pub mod spi_driver;
+
+pub use app::{lightbulb_program, DriverOptions};
+pub use ext::MmioBridge;
+pub use spec::good_hl_trace;

@@ -1,0 +1,451 @@
+//! The top-level trace specification (§3.1 of the paper):
+//!
+//! ```text
+//! goodHlTrace :=
+//!   BootSeq +++ ((EX b: bool, Recv b +++ LightbulbCmd b)
+//!                ||| RecvInvalid ||| PollNone) ^*
+//! ```
+//!
+//! Every predicate here is a set of MMIO traces at the processor's bus
+//! interface — the same `("ld"/"st", addr, value)` triples every machine
+//! model in the workspace records — built from the regex-like combinators
+//! of `proglogic::trace`.
+//!
+//! The specification is *lax* where the paper's is lax (it does not parse
+//! IP headers out of the byte stream) and precise where safety demands it:
+//!
+//! * `LightbulbCmd b` only ever appears after `Recv b` with the **same**
+//!   `b`, and `Recv b` pins the received command byte — the RXDATA read
+//!   delivering byte offset 42 of the frame (word 10, lane 2) — to carry
+//!   `b` in its low bit. A trace in which the lightbulb switches without a
+//!   matching command, or opposite to the command, does not match.
+//! * `RecvInvalid` and `PollNone` contain no GPIO events at all, so
+//!   malformed traffic provably (checkably) cannot actuate anything.
+//! * `BootSeq` requires the mandated bring-up: a `BYTE_TEST` read
+//!   observing the magic value, an `HW_CFG` read observing READY, and the
+//!   MAC receive-enable sequence, before any packet interaction.
+
+use crate::app::DriverOptions;
+use crate::layout::{self, lan};
+use proglogic::trace::{ld_if, st_if, TracePred};
+
+/// `p` repeated at most `n` times (polling loops are bounded by their
+/// timeout budget, which also keeps trace matching fast).
+fn at_most(p: &TracePred, n: usize) -> TracePred {
+    let mut acc = TracePred::eps();
+    for _ in 0..n {
+        acc = p.then(&acc).or(&TracePred::eps());
+    }
+    acc.named(&format!("({:?})^{{0..{n}}}", p))
+}
+
+/// Maximum polls a driver flag-wait can issue (timeout budget + the
+/// initial read).
+const MAX_POLLS: usize = layout::SPI_TIMEOUT as usize + 2;
+
+fn tx_busy() -> TracePred {
+    ld_if(layout::SPI_TXDATA, "full", |v| v & layout::SPI_FLAG != 0)
+}
+
+fn tx_ready() -> TracePred {
+    ld_if(layout::SPI_TXDATA, "room", |v| v & layout::SPI_FLAG == 0)
+}
+
+fn rx_empty() -> TracePred {
+    ld_if(layout::SPI_RXDATA, "empty", |v| v & layout::SPI_FLAG != 0)
+}
+
+fn rx_byte(name: &str, f: impl Fn(u8) -> bool + 'static) -> TracePred {
+    ld_if(layout::SPI_RXDATA, name, move |v| {
+        v & layout::SPI_FLAG == 0 && f(v as u8)
+    })
+}
+
+fn cs(assert: bool) -> TracePred {
+    st_if(
+        layout::SPI_CSMODE,
+        if assert { "cs+" } else { "cs-" },
+        move |v| (v & 1 == 1) == assert,
+    )
+}
+
+/// `spi_put(b)`: wait for room, write the byte (any byte when `None`).
+fn put(byte: Option<u8>) -> TracePred {
+    let write = match byte {
+        Some(b) => st_if(layout::SPI_TXDATA, &format!("tx={b:#04x}"), move |v| {
+            v as u8 == b
+        }),
+        None => st_if(layout::SPI_TXDATA, "tx", |_| true),
+    };
+    let name = match byte {
+        Some(b) => format!("put({b:#04x})"),
+        None => "put(_)".to_string(),
+    };
+    at_most(&tx_busy(), MAX_POLLS)
+        .then(&tx_ready())
+        .then(&write)
+        .named(&name)
+}
+
+/// `spi_get()`: wait for and read one response byte satisfying `f`.
+fn get(name: &str, f: impl Fn(u8) -> bool + 'static) -> TracePred {
+    at_most(&rx_empty(), MAX_POLLS)
+        .then(&rx_byte(name, f))
+        .named(&format!("get[{name}]"))
+}
+
+fn get_any() -> TracePred {
+    get("rx", |_| true)
+}
+
+/// A named predicate over one received data byte.
+type BytePred = Option<(&'static str, fn(u8) -> bool)>;
+
+/// One LAN9250 register read with per-data-byte predicates.
+fn lan_read(opts: DriverOptions, addr: u16, data: [BytePred; 4]) -> TracePred {
+    let hi = (addr >> 8) as u8;
+    let lo = (addr & 0xFF) as u8;
+    let data_gets: Vec<TracePred> = data
+        .into_iter()
+        .map(|p| match p {
+            Some((name, f)) => get(name, f),
+            None => get_any(),
+        })
+        .collect();
+    let mut parts = vec![cs(true)];
+    if opts.pipelined_spi {
+        // Queue the 7 command bytes, then drain 3 junk + 4 data responses.
+        parts.push(put(Some(layout::CMD_READ as u8)));
+        parts.push(put(Some(hi)));
+        parts.push(put(Some(lo)));
+        for _ in 0..4 {
+            parts.push(put(Some(0)));
+        }
+        for _ in 0..3 {
+            parts.push(get_any());
+        }
+        parts.extend(data_gets);
+    } else {
+        // Interleaved: each byte is a put immediately followed by a get.
+        parts.push(put(Some(layout::CMD_READ as u8)));
+        parts.push(get_any());
+        parts.push(put(Some(hi)));
+        parts.push(get_any());
+        parts.push(put(Some(lo)));
+        parts.push(get_any());
+        for dg in data_gets {
+            parts.push(put(Some(0)));
+            parts.push(dg);
+        }
+    }
+    parts.push(cs(false));
+    let labels: Vec<String> = data
+        .iter()
+        .map(|p| p.map_or("_", |(n, _)| n).to_string())
+        .collect();
+    TracePred::all(parts).named(&format!("lan_read(0x{addr:02x}; {})", labels.join(",")))
+}
+
+/// One LAN9250 register write of a known value.
+fn lan_write(opts: DriverOptions, addr: u16, value: u32) -> TracePred {
+    let bytes = [
+        layout::CMD_WRITE as u8,
+        (addr >> 8) as u8,
+        (addr & 0xFF) as u8,
+        value as u8,
+        (value >> 8) as u8,
+        (value >> 16) as u8,
+        (value >> 24) as u8,
+    ];
+    let mut parts = vec![cs(true)];
+    if opts.pipelined_spi {
+        for b in bytes {
+            parts.push(put(Some(b)));
+        }
+        for _ in 0..7 {
+            parts.push(get_any());
+        }
+    } else {
+        for b in bytes {
+            parts.push(put(Some(b)));
+            parts.push(get_any());
+        }
+    }
+    parts.push(cs(false));
+    TracePred::all(parts).named(&format!("lan_write(0x{addr:02x}, {value:#x})"))
+}
+
+fn lan_read_any(opts: DriverOptions, addr: u16) -> TracePred {
+    lan_read(opts, addr, [None, None, None, None])
+}
+
+/// `BootSeq`: GPIO setup plus the Ethernet controller's mandated
+/// bring-up incantations (§3.1).
+pub fn boot_seq(opts: DriverOptions) -> TracePred {
+    let gpio_en = st_if(layout::GPIO_OUTPUT_EN, "enable-bulb", |v| {
+        v == layout::LIGHTBULB_MASK
+    });
+    // Poll BYTE_TEST until the magic value appears, byte by byte.
+    let byte_test_magic = lan_read(
+        opts,
+        lan::BYTE_TEST,
+        [
+            Some(("magic0", |b| b == 0x21)),
+            Some(("magic1", |b| b == 0x43)),
+            Some(("magic2", |b| b == 0x65)),
+            Some(("magic3", |b| b == 0x87)),
+        ],
+    );
+    let byte_test_poll = at_most(
+        &lan_read_any(opts, lan::BYTE_TEST),
+        layout::INIT_TIMEOUT as usize + 1,
+    )
+    .then(&byte_test_magic);
+    // Poll HW_CFG until READY (bit 27 = bit 3 of byte 3).
+    let hw_cfg_ready = lan_read(
+        opts,
+        lan::HW_CFG,
+        [None, None, None, Some(("ready", |b| b & 0x08 != 0))],
+    );
+    let hw_cfg_poll = at_most(
+        &lan_read_any(opts, lan::HW_CFG),
+        layout::INIT_TIMEOUT as usize + 1,
+    )
+    .then(&hw_cfg_ready);
+    // MAC receive enable through the CSR indirection, then wait not-busy.
+    let mac = lan_write(opts, lan::MAC_CSR_DATA, layout::MAC_CR_RXEN).then(&lan_write(
+        opts,
+        lan::MAC_CSR_CMD,
+        layout::MAC_CSR_BUSY | layout::MAC_CR,
+    ));
+    let cmd_idle = lan_read(
+        opts,
+        lan::MAC_CSR_CMD,
+        [None, None, None, Some(("idle", |b| b & 0x80 == 0))],
+    );
+    let cmd_poll = at_most(
+        &lan_read_any(opts, lan::MAC_CSR_CMD),
+        layout::INIT_TIMEOUT as usize + 1,
+    )
+    .then(&cmd_idle);
+    TracePred::all([gpio_en, byte_test_poll, hw_cfg_poll, mac, cmd_poll])
+}
+
+/// `PollNone`: the RX FIFO information read reporting no pending frames
+/// (status-FIFO count byte — byte 2 — is zero).
+pub fn poll_none(opts: DriverOptions) -> TracePred {
+    lan_read(
+        opts,
+        lan::RX_FIFO_INF,
+        [None, None, Some(("no-frames", |b| b == 0)), None],
+    )
+}
+
+fn poll_avail(opts: DriverOptions) -> TracePred {
+    lan_read(
+        opts,
+        lan::RX_FIFO_INF,
+        [None, None, Some(("frames>0", |b| b != 0)), None],
+    )
+}
+
+fn data_word_any(opts: DriverOptions) -> TracePred {
+    lan_read_any(opts, lan::RX_DATA_FIFO)
+}
+
+/// The data word carrying the command byte: frame byte offset 42 = word
+/// 10, lane 2, whose low bit is the on/off command `b`.
+fn data_word_cmd(opts: DriverOptions, b: bool) -> TracePred {
+    let pred: fn(u8) -> bool = if b { |x| x & 1 == 1 } else { |x| x & 1 == 0 };
+    lan_read(
+        opts,
+        lan::RX_DATA_FIFO,
+        [None, None, Some(("cmd", pred)), None],
+    )
+}
+
+/// Maximum data words per accepted frame (1520-byte buffer).
+const MAX_DATA_WORDS: usize = (layout::RX_BUFFER_BYTES as usize).div_ceil(4);
+
+/// `Recv b`: a frame is announced, its status is read, and its contents
+/// are streamed out — with the command byte carrying `b`.
+pub fn recv(opts: DriverOptions, b: bool) -> TracePred {
+    let leading: Vec<TracePred> = (0..10).map(|_| data_word_any(opts)).collect();
+    poll_avail(opts)
+        .then(&lan_read_any(opts, lan::RX_STATUS_FIFO))
+        .then(&TracePred::all(leading))
+        .then(&data_word_cmd(opts, b))
+        .then(&at_most(&data_word_any(opts), MAX_DATA_WORDS - 11))
+}
+
+/// `LightbulbCmd b`: the read-modify-write of the GPIO output register
+/// leaving the lightbulb pin equal to `b`.
+pub fn lightbulb_cmd(b: bool) -> TracePred {
+    let set_pin = st_if(
+        layout::GPIO_OUTPUT_VAL,
+        if b { "bulb=on" } else { "bulb=off" },
+        move |v| (v & layout::LIGHTBULB_MASK != 0) == b,
+    );
+    ld_if(layout::GPIO_OUTPUT_VAL, "gpio-read", |_| true).then(&set_pin)
+}
+
+/// `RecvInvalid`: a frame is announced and then either discarded by the
+/// datapath control (length guard) or streamed out and dropped — with no
+/// GPIO interaction whatsoever.
+pub fn recv_invalid(opts: DriverOptions) -> TracePred {
+    let discard = lan_write(opts, lan::RX_DP_CTRL, layout::RX_DP_DISCARD);
+    let consume = data_word_any(opts).then(&at_most(&data_word_any(opts), MAX_DATA_WORDS - 1));
+    poll_avail(opts)
+        .then(&lan_read_any(opts, lan::RX_STATUS_FIFO))
+        .then(&discard.or(&consume))
+}
+
+/// `goodHlTrace`: the complete top-level specification (§3.1).
+pub fn good_hl_trace(opts: DriverOptions) -> TracePred {
+    let step = TracePred::ex_bool(move |b| recv(opts, b).then(&lightbulb_cmd(b)))
+        .or(&recv_invalid(opts))
+        .or(&poll_none(opts));
+    boot_seq(opts).then(&step.star())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{lightbulb_program, DriverOptions};
+    use crate::ext::MmioBridge;
+    use bedrock2::semantics::Interp;
+    use devices::workload::{Malformation, TrafficGen};
+    use devices::Board;
+    use riscv_spec::{Memory, MmioEvent};
+
+    fn run_system(opts: DriverOptions, frames: &[Vec<u8>], loops: usize) -> (Vec<MmioEvent>, bool) {
+        let p = lightbulb_program(opts);
+        let mut i = Interp::new(
+            &p,
+            Memory::with_size(0x1_0000),
+            MmioBridge::new(Board::default()),
+        );
+        let out = i.call("lightbulb_init", &[]).unwrap();
+        assert_eq!(out, vec![0]);
+        for f in frames {
+            i.ext.dev.inject_frame(f);
+        }
+        for _ in 0..loops {
+            i.call("lightbulb_loop", &[]).unwrap();
+        }
+        let on = i.ext.dev.lightbulb_on();
+        (i.ext.events, on)
+    }
+
+    #[test]
+    fn boot_alone_matches() {
+        let opts = DriverOptions::default();
+        let (trace, _) = run_system(opts, &[], 0);
+        assert!(
+            boot_seq(opts).matches(&trace),
+            "boot trace must match BootSeq"
+        );
+        assert!(good_hl_trace(opts).matches(&trace));
+    }
+
+    #[test]
+    fn idle_polling_matches() {
+        let opts = DriverOptions::default();
+        let (trace, on) = run_system(opts, &[], 3);
+        assert!(!on);
+        assert!(good_hl_trace(opts).matches(&trace));
+    }
+
+    #[test]
+    fn valid_command_matches_with_the_right_bit() {
+        let opts = DriverOptions::default();
+        let mut gen = TrafficGen::new(41);
+        let (trace, on) = run_system(opts, &[gen.command(true)], 1);
+        assert!(on);
+        assert!(good_hl_trace(opts).matches(&trace));
+    }
+
+    #[test]
+    fn malformed_traffic_matches_as_invalid() {
+        let opts = DriverOptions::default();
+        let mut gen = TrafficGen::new(43);
+        let frames = vec![
+            gen.malformed(Malformation::WrongPort),
+            gen.malformed(Malformation::TooShort),
+        ];
+        let (trace, on) = run_system(opts, &frames, 2);
+        assert!(!on);
+        assert!(good_hl_trace(opts).matches(&trace));
+    }
+
+    #[test]
+    fn spec_rejects_rogue_actuation() {
+        // Take a legitimate boot+poll trace and append a GPIO write that no
+        // received command justifies: the spec must refuse it.
+        let opts = DriverOptions::default();
+        let (mut trace, _) = run_system(opts, &[], 1);
+        assert!(good_hl_trace(opts).matches(&trace));
+        trace.push(MmioEvent::load(layout::GPIO_OUTPUT_VAL, 0));
+        trace.push(MmioEvent::store(
+            layout::GPIO_OUTPUT_VAL,
+            layout::LIGHTBULB_MASK,
+        ));
+        assert!(
+            !good_hl_trace(opts).matches(&trace),
+            "actuation without a command must not match"
+        );
+        assert!(
+            !good_hl_trace(opts).matches_prefix(&trace),
+            "…not even as a prefix"
+        );
+    }
+
+    #[test]
+    fn spec_rejects_inverted_commands() {
+        // Flip the GPIO write of a real "on" interaction to "off": the
+        // EX-bound b no longer matches the received command byte.
+        let opts = DriverOptions::default();
+        let mut gen = TrafficGen::new(47);
+        let (mut trace, on) = run_system(opts, &[gen.command(true)], 1);
+        assert!(on);
+        let last = trace.len() - 1;
+        assert_eq!(trace[last].addr, layout::GPIO_OUTPUT_VAL);
+        trace[last].value &= !layout::LIGHTBULB_MASK; // claim we switched off
+        assert!(
+            !good_hl_trace(opts).matches(&trace),
+            "a trace actuating opposite to the command must not match"
+        );
+    }
+
+    #[test]
+    fn prefixes_of_good_traces_match_as_prefixes() {
+        let opts = DriverOptions::default();
+        let mut gen = TrafficGen::new(53);
+        let (trace, _) = run_system(opts, &[gen.command(true)], 1);
+        let spec = good_hl_trace(opts);
+        // Sample a handful of prefix lengths including mid-interaction.
+        for k in [
+            1,
+            trace.len() / 3,
+            trace.len() / 2,
+            trace.len() - 1,
+            trace.len(),
+        ] {
+            assert!(spec.matches_prefix(&trace[..k]), "prefix of length {k}");
+        }
+    }
+
+    #[test]
+    fn pipelined_configuration_has_its_own_matching_spec() {
+        let opts = DriverOptions {
+            timeouts: true,
+            pipelined_spi: true,
+        };
+        let mut gen = TrafficGen::new(59);
+        let (trace, on) = run_system(opts, &[gen.command(true)], 1);
+        assert!(on);
+        assert!(good_hl_trace(opts).matches(&trace));
+        // And the interleaved spec must NOT accept the pipelined trace.
+        assert!(!good_hl_trace(DriverOptions::default()).matches(&trace));
+    }
+}

@@ -1,0 +1,306 @@
+//! Combinational decode/execute logic shared by the single-cycle spec core
+//! and the pipelined implementation.
+//!
+//! `execute` computes, for one instruction and its register operands, the
+//! complete set of datapath control signals: the write-back value, the
+//! memory operation (if any), the actual next pc, and the halt condition.
+//! Nothing here knows about pipelines, caches, or hazards — those live in
+//! the cores, which is exactly the split that makes checking the pipeline
+//! against the spec core informative.
+//!
+//! The hardware is total: an [`riscv_spec::Instruction::Invalid`] word
+//! executes as a nop, misaligned accesses use lane masking, and division
+//! follows the RISC-V conventions (shared, via `riscv_spec::word`, with the
+//! ISA specification — one source of truth for the tricky bit patterns).
+
+use riscv_spec::word;
+use riscv_spec::Instruction;
+
+/// The memory operation an instruction requests of the memory system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemKind {
+    /// `lb`: sign-extended byte load.
+    Lb,
+    /// `lh`: sign-extended halfword load.
+    Lh,
+    /// `lw`: word load.
+    Lw,
+    /// `lbu`: zero-extended byte load.
+    Lbu,
+    /// `lhu`: zero-extended halfword load.
+    Lhu,
+    /// `sb`: byte store.
+    Sb,
+    /// `sh`: halfword store.
+    Sh,
+    /// `sw`: word store.
+    Sw,
+}
+
+impl MemKind {
+    /// True for the load variants.
+    pub fn is_load(self) -> bool {
+        matches!(
+            self,
+            MemKind::Lb | MemKind::Lh | MemKind::Lw | MemKind::Lbu | MemKind::Lhu
+        )
+    }
+}
+
+/// A requested memory access: `value` is meaningful for stores only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemOp {
+    /// Which access.
+    pub kind: MemKind,
+    /// Byte address (possibly misaligned; the memory system masks lanes).
+    pub addr: u32,
+    /// Store data (ignored for loads).
+    pub value: u32,
+}
+
+/// All datapath outputs of executing one instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecOut {
+    /// Value to write to `rd` for non-load instructions (`None` when the
+    /// instruction writes no register or is a load, whose value comes from
+    /// the memory system).
+    pub wb_value: Option<u32>,
+    /// Memory access to perform, if any.
+    pub mem: Option<MemOp>,
+    /// The architecturally correct next pc.
+    pub next_pc: u32,
+    /// True for `ebreak`/`ecall` (the cores halt).
+    pub halt: bool,
+    /// True for `fence.i` (the pipeline refills its instruction cache and
+    /// refetches).
+    pub fence_i: bool,
+}
+
+/// Executes one decoded instruction combinationally.
+///
+/// `a` and `b` are the values of `rs1` and `rs2` (zero where the
+/// instruction has no such operand). Jump targets have their low bits
+/// masked (hardware truncates; the software contract treats misaligned
+/// targets as UB before they get here).
+pub fn execute(inst: &Instruction, pc: u32, a: u32, b: u32) -> ExecOut {
+    use Instruction::*;
+    let seq = pc.wrapping_add(4);
+    let mut out = ExecOut {
+        wb_value: None,
+        mem: None,
+        next_pc: seq,
+        halt: false,
+        fence_i: false,
+    };
+    match *inst {
+        Lui { imm20, .. } => out.wb_value = Some(imm20 << 12),
+        Auipc { imm20, .. } => out.wb_value = Some(pc.wrapping_add(imm20 << 12)),
+        Jal { offset, .. } => {
+            out.wb_value = Some(seq);
+            out.next_pc = pc.wrapping_add(offset as u32) & !3;
+        }
+        Jalr { offset, .. } => {
+            out.wb_value = Some(seq);
+            out.next_pc = a.wrapping_add(offset as u32) & !3;
+        }
+        Beq { offset, .. } => branch(&mut out, pc, offset, a == b),
+        Bne { offset, .. } => branch(&mut out, pc, offset, a != b),
+        Blt { offset, .. } => branch(&mut out, pc, offset, word::lts(a, b)),
+        Bge { offset, .. } => branch(&mut out, pc, offset, !word::lts(a, b)),
+        Bltu { offset, .. } => branch(&mut out, pc, offset, word::ltu(a, b)),
+        Bgeu { offset, .. } => branch(&mut out, pc, offset, !word::ltu(a, b)),
+        Lb { offset, .. } => mem(&mut out, MemKind::Lb, a, offset, 0),
+        Lh { offset, .. } => mem(&mut out, MemKind::Lh, a, offset, 0),
+        Lw { offset, .. } => mem(&mut out, MemKind::Lw, a, offset, 0),
+        Lbu { offset, .. } => mem(&mut out, MemKind::Lbu, a, offset, 0),
+        Lhu { offset, .. } => mem(&mut out, MemKind::Lhu, a, offset, 0),
+        Sb { offset, .. } => mem(&mut out, MemKind::Sb, a, offset, b),
+        Sh { offset, .. } => mem(&mut out, MemKind::Sh, a, offset, b),
+        Sw { offset, .. } => mem(&mut out, MemKind::Sw, a, offset, b),
+        Addi { imm, .. } => out.wb_value = Some(a.wrapping_add(imm as u32)),
+        Slti { imm, .. } => out.wb_value = Some(word::lts(a, imm as u32) as u32),
+        Sltiu { imm, .. } => out.wb_value = Some(word::ltu(a, imm as u32) as u32),
+        Xori { imm, .. } => out.wb_value = Some(a ^ imm as u32),
+        Ori { imm, .. } => out.wb_value = Some(a | imm as u32),
+        Andi { imm, .. } => out.wb_value = Some(a & imm as u32),
+        Slli { shamt, .. } => out.wb_value = Some(word::sll(a, shamt)),
+        Srli { shamt, .. } => out.wb_value = Some(word::srl(a, shamt)),
+        Srai { shamt, .. } => out.wb_value = Some(word::sra(a, shamt)),
+        Add { .. } => out.wb_value = Some(a.wrapping_add(b)),
+        Sub { .. } => out.wb_value = Some(a.wrapping_sub(b)),
+        Sll { .. } => out.wb_value = Some(word::sll(a, b)),
+        Slt { .. } => out.wb_value = Some(word::lts(a, b) as u32),
+        Sltu { .. } => out.wb_value = Some(word::ltu(a, b) as u32),
+        Xor { .. } => out.wb_value = Some(a ^ b),
+        Srl { .. } => out.wb_value = Some(word::srl(a, b)),
+        Sra { .. } => out.wb_value = Some(word::sra(a, b)),
+        Or { .. } => out.wb_value = Some(a | b),
+        And { .. } => out.wb_value = Some(a & b),
+        Mul { .. } => out.wb_value = Some(a.wrapping_mul(b)),
+        Mulh { .. } => out.wb_value = Some(word::mulh(a, b)),
+        Mulhsu { .. } => out.wb_value = Some(word::mulhsu(a, b)),
+        Mulhu { .. } => out.wb_value = Some(word::mulhu(a, b)),
+        Div { .. } => out.wb_value = Some(word::div(a, b)),
+        Divu { .. } => out.wb_value = Some(word::divu(a, b)),
+        Rem { .. } => out.wb_value = Some(word::rem(a, b)),
+        Remu { .. } => out.wb_value = Some(word::remu(a, b)),
+        Fence => {}
+        FenceI => out.fence_i = true,
+        Ecall | Ebreak => out.halt = true,
+        Invalid { .. } => {} // hardware treats undecodable words as nops
+    }
+    out
+}
+
+fn branch(out: &mut ExecOut, pc: u32, offset: i32, taken: bool) {
+    if taken {
+        out.next_pc = pc.wrapping_add(offset as u32) & !3;
+    }
+}
+
+fn mem(out: &mut ExecOut, kind: MemKind, base: u32, offset: i32, value: u32) {
+    out.mem = Some(MemOp {
+        kind,
+        addr: base.wrapping_add(offset as u32),
+        value,
+    });
+}
+
+/// Extracts and extends a load result from the full word the memory port
+/// returned. Lanes are selected by the low address bits; accesses that
+/// would cross the word boundary read zeros in the missing bytes (a total
+/// stand-in for behavior that is UB at the software level).
+pub fn load_result(kind: MemKind, addr: u32, word_read: u32) -> u32 {
+    let lane = addr & 3;
+    let shifted = word_read >> (8 * lane);
+    match kind {
+        MemKind::Lb => word::sext8(shifted & 0xFF),
+        MemKind::Lbu => shifted & 0xFF,
+        MemKind::Lh => word::sext16(shifted & 0xFFFF),
+        MemKind::Lhu => shifted & 0xFFFF,
+        MemKind::Lw => shifted,
+        _ => unreachable!("load_result on a store"),
+    }
+}
+
+/// Computes the shifted write data and 4-bit byte-enable mask for a store
+/// (the signals of the §5.5 memory interface).
+pub fn store_signals(kind: MemKind, addr: u32, value: u32) -> (u32, u8) {
+    let lane = addr & 3;
+    match kind {
+        MemKind::Sb => (value << (8 * lane), 1u8 << lane),
+        MemKind::Sh => {
+            let be = 0b11u8 << lane;
+            (value << (8 * lane), be & 0xF)
+        }
+        MemKind::Sw => (value, 0xF),
+        _ => unreachable!("store_signals on a load"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv_spec::Reg;
+
+    #[test]
+    fn alu_results() {
+        let i = Instruction::Add {
+            rd: Reg::X5,
+            rs1: Reg::X6,
+            rs2: Reg::X7,
+        };
+        assert_eq!(execute(&i, 0, 2, 3).wb_value, Some(5));
+        let i = Instruction::Sltu {
+            rd: Reg::X5,
+            rs1: Reg::X6,
+            rs2: Reg::X7,
+        };
+        assert_eq!(execute(&i, 0, 1, 2).wb_value, Some(1));
+    }
+
+    #[test]
+    fn branches_compute_next_pc() {
+        let i = Instruction::Beq {
+            rs1: Reg::X5,
+            rs2: Reg::X6,
+            offset: -8,
+        };
+        assert_eq!(execute(&i, 100, 7, 7).next_pc, 92);
+        assert_eq!(execute(&i, 100, 7, 8).next_pc, 104);
+    }
+
+    #[test]
+    fn jal_links_and_jumps() {
+        let i = Instruction::Jal {
+            rd: Reg::X1,
+            offset: 16,
+        };
+        let o = execute(&i, 100, 0, 0);
+        assert_eq!(o.wb_value, Some(104));
+        assert_eq!(o.next_pc, 116);
+    }
+
+    #[test]
+    fn jalr_masks_low_bit() {
+        let i = Instruction::Jalr {
+            rd: Reg::X0,
+            rs1: Reg::X5,
+            offset: 1,
+        };
+        assert_eq!(execute(&i, 0, 100, 0).next_pc, 100 & !3);
+    }
+
+    #[test]
+    fn loads_request_memory() {
+        let i = Instruction::Lw {
+            rd: Reg::X5,
+            rs1: Reg::X6,
+            offset: 4,
+        };
+        let o = execute(&i, 0, 0x100, 0);
+        assert_eq!(
+            o.mem,
+            Some(MemOp {
+                kind: MemKind::Lw,
+                addr: 0x104,
+                value: 0
+            })
+        );
+        assert_eq!(o.wb_value, None);
+    }
+
+    #[test]
+    fn halt_and_fence_signals() {
+        assert!(execute(&Instruction::Ebreak, 0, 0, 0).halt);
+        assert!(execute(&Instruction::Ecall, 0, 0, 0).halt);
+        assert!(execute(&Instruction::FenceI, 0, 0, 0).fence_i);
+        let nop = execute(&Instruction::Invalid { word: 0 }, 8, 0, 0);
+        assert_eq!(nop.next_pc, 12);
+        assert!(!nop.halt);
+    }
+
+    #[test]
+    fn load_lane_extraction() {
+        let word = 0x8877_6655;
+        assert_eq!(load_result(MemKind::Lbu, 0x100, word), 0x55);
+        assert_eq!(load_result(MemKind::Lbu, 0x103, word), 0x88);
+        assert_eq!(load_result(MemKind::Lb, 0x103, word), 0xFFFF_FF88);
+        assert_eq!(load_result(MemKind::Lhu, 0x102, word), 0x8877);
+        assert_eq!(load_result(MemKind::Lh, 0x102, word), 0xFFFF_8877);
+        assert_eq!(load_result(MemKind::Lw, 0x100, word), word);
+    }
+
+    #[test]
+    fn store_lane_signals() {
+        assert_eq!(
+            store_signals(MemKind::Sb, 0x102, 0xAB),
+            (0x00AB_0000, 0b0100)
+        );
+        assert_eq!(
+            store_signals(MemKind::Sh, 0x102, 0xBEEF),
+            (0xBEEF_0000, 0b1100)
+        );
+        assert_eq!(store_signals(MemKind::Sw, 0x100, 7), (7, 0xF));
+    }
+}

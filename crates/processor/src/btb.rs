@@ -1,0 +1,109 @@
+//! A direct-mapped branch target buffer (§5.5; Perleberg & Smith, the
+//! paper's reference \[35\]).
+//!
+//! The fetch stage asks the BTB for a predicted next pc; the execute stage
+//! trains it with resolved control flow: taken branches and jumps insert
+//! their target, and a not-taken branch evicts its entry so the default
+//! pc+4 prediction returns.
+
+/// Direct-mapped BTB with `2^index_bits` entries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Btb {
+    entries: Vec<Option<(u32, u32)>>, // (pc tag, target)
+    index_mask: u32,
+    /// Lookup statistics: predictions served from the table.
+    pub hits: u64,
+    /// Lookup statistics: default pc+4 predictions.
+    pub misses: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `2^index_bits` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 16.
+    pub fn new(index_bits: u32) -> Btb {
+        assert!((1..=16).contains(&index_bits), "unreasonable BTB size");
+        Btb {
+            entries: vec![None; 1 << index_bits],
+            index_mask: (1 << index_bits) - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        ((pc >> 2) & self.index_mask) as usize
+    }
+
+    /// Predicted next pc for a fetch at `pc` (pc+4 when no entry matches).
+    pub fn predict(&mut self, pc: u32) -> u32 {
+        match self.entries[self.index(pc)] {
+            Some((tag, target)) if tag == pc => {
+                self.hits += 1;
+                target
+            }
+            _ => {
+                self.misses += 1;
+                pc.wrapping_add(4)
+            }
+        }
+    }
+
+    /// Trains the BTB with a resolved instruction at `pc` whose actual
+    /// next pc was `next`; `taken` marks non-sequential control flow.
+    pub fn train(&mut self, pc: u32, next: u32, taken: bool) {
+        let i = self.index(pc);
+        if taken {
+            self.entries[i] = Some((pc, next));
+        } else if matches!(self.entries[i], Some((tag, _)) if tag == pc) {
+            self.entries[i] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_prediction_is_sequential() {
+        let mut b = Btb::new(4);
+        assert_eq!(b.predict(0x100), 0x104);
+        assert_eq!(b.misses, 1);
+    }
+
+    #[test]
+    fn trained_branches_predict_their_target() {
+        let mut b = Btb::new(4);
+        b.train(0x100, 0x80, true);
+        assert_eq!(b.predict(0x100), 0x80);
+        assert_eq!(b.hits, 1);
+    }
+
+    #[test]
+    fn not_taken_evicts() {
+        let mut b = Btb::new(4);
+        b.train(0x100, 0x80, true);
+        b.train(0x100, 0x104, false);
+        assert_eq!(b.predict(0x100), 0x104);
+    }
+
+    #[test]
+    fn aliasing_entries_do_not_mispredict() {
+        let mut b = Btb::new(2); // 4 entries; 0x100 and 0x110 alias
+        b.train(0x100, 0x80, true);
+        assert_eq!(
+            b.predict(0x110),
+            0x114,
+            "tag mismatch must fall back to pc+4"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unreasonable BTB size")]
+    fn zero_bits_rejected() {
+        Btb::new(0);
+    }
+}

@@ -1,0 +1,67 @@
+//! The eagerly-filled instruction cache (§5.5, §5.6).
+//!
+//! At reset the entire BRAM contents are copied into the cache ("we added
+//! logic to fetch instructions eagerly from main memory into an
+//! interface-compatible instruction cache … upon reset"). The cache does
+//! **not** observe later stores — that is the stale-instruction hazard the
+//! XAddrs software discipline exists for. `fence.i` refills it.
+
+use kami::BeMemory;
+
+/// A full-image instruction cache.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ICache {
+    words: Vec<u32>,
+    /// Number of refills performed (1 at reset, +1 per `fence.i`).
+    pub fills: u64,
+}
+
+impl ICache {
+    /// Reset-time eager fill from RAM.
+    pub fn fill(ram: &BeMemory) -> ICache {
+        ICache {
+            words: ram.words().to_vec(),
+            fills: 1,
+        }
+    }
+
+    /// Fetches the instruction word at `pc` (low bits and high bits masked,
+    /// like the backing BRAM).
+    pub fn fetch(&self, pc: u32) -> u32 {
+        self.words[((pc as usize) / 4) % self.words.len()]
+    }
+
+    /// `fence.i`: resynchronize with RAM.
+    pub fn refill(&mut self, ram: &BeMemory) {
+        self.words.copy_from_slice(ram.words());
+        self.fills += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_does_not_observe_stores() {
+        let mut ram = BeMemory::with_size(16);
+        ram.write(0, 0x11, 0xF);
+        let mut ic = ICache::fill(&ram);
+        assert_eq!(ic.fetch(0), 0x11);
+        ram.write(0, 0x22, 0xF);
+        assert_eq!(ic.fetch(0), 0x11, "stale by design until fence.i");
+        ic.refill(&ram);
+        assert_eq!(ic.fetch(0), 0x22);
+        assert_eq!(ic.fills, 2);
+    }
+
+    #[test]
+    fn fetch_masks_address_bits() {
+        let mut ram = BeMemory::with_size(16);
+        ram.write(4, 0xAB, 0xF);
+        let ic = ICache::fill(&ram);
+        assert_eq!(ic.fetch(4), 0xAB);
+        assert_eq!(ic.fetch(5), 0xAB);
+        assert_eq!(ic.fetch(4 + 16), 0xAB);
+    }
+}

@@ -1,0 +1,206 @@
+//! The memory system: BRAM with byte enables plus MMIO routing.
+//!
+//! As in the paper's factoring (§6.4), "the processor itself does not
+//! distinguish ordinary memory operations from MMIO. When the memory module
+//! is attached, it handles the loads and stores to memory addresses but
+//! makes designated external method calls for the rest." Those external
+//! method calls are the cycle-stamped labels in [`MemSystem::trace`].
+
+use crate::alu::{load_result, store_signals, MemOp};
+use kami::{BeMemory, LabelTrace, TraceEvent};
+use riscv_spec::{AccessSize, MmioEvent, MmioHandler};
+
+/// Memory + MMIO, shared by both processor models.
+#[derive(Clone, Debug)]
+pub struct MemSystem<M> {
+    /// The BRAM, based at address 0.
+    pub ram: BeMemory,
+    /// The attached external module (devices).
+    pub mmio: M,
+    /// External method-call labels, oldest first.
+    pub trace: LabelTrace,
+}
+
+impl<M: MmioHandler> MemSystem<M> {
+    /// Creates a memory system over an initial RAM image.
+    pub fn new(ram: BeMemory, mmio: M) -> MemSystem<M> {
+        MemSystem {
+            ram,
+            mmio,
+            trace: Vec::new(),
+        }
+    }
+
+    fn routes_to_mmio(&self, addr: u32) -> bool {
+        self.mmio.is_mmio(addr & !3, AccessSize::Word)
+    }
+
+    /// Instruction fetch: always from RAM (devices are not executable).
+    pub fn fetch(&self, pc: u32) -> u32 {
+        self.ram.read(pc)
+    }
+
+    /// Performs a load, returning the extended register value.
+    pub fn load(&mut self, cycle: u64, op: MemOp) -> u32 {
+        debug_assert!(op.kind.is_load());
+        let aligned = op.addr & !3;
+        let word = if self.routes_to_mmio(op.addr) {
+            let v = self.mmio.load(aligned, AccessSize::Word);
+            self.trace.push(TraceEvent {
+                cycle,
+                event: MmioEvent::load(aligned, v),
+            });
+            v
+        } else {
+            self.ram.read(aligned)
+        };
+        load_result(op.kind, op.addr, word)
+    }
+
+    /// Performs a store.
+    pub fn store(&mut self, cycle: u64, op: MemOp) {
+        debug_assert!(!op.kind.is_load());
+        let aligned = op.addr & !3;
+        let (data, be) = store_signals(op.kind, op.addr, op.value);
+        if self.routes_to_mmio(op.addr) {
+            // The device interface is word-sized; narrower stores present
+            // the shifted word (software-level UB, but hardware is total).
+            self.mmio.store(aligned, AccessSize::Word, data);
+            self.trace.push(TraceEvent {
+                cycle,
+                event: MmioEvent::store(aligned, data),
+            });
+        } else {
+            self.ram.write(aligned, data, be);
+        }
+    }
+
+    /// Advances device time by one hardware cycle.
+    pub fn tick(&mut self) {
+        self.mmio.tick();
+    }
+
+    /// The projected (cycle-free) MMIO event sequence.
+    pub fn events(&self) -> Vec<MmioEvent> {
+        kami::label::project(&self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alu::MemKind;
+    use riscv_spec::NoMmio;
+
+    #[derive(Clone, Default)]
+    struct Dev {
+        last: u32,
+        loads: u32,
+    }
+    impl MmioHandler for Dev {
+        fn is_mmio(&self, addr: u32, _s: AccessSize) -> bool {
+            addr >= 0x1000_0000
+        }
+        fn load(&mut self, _a: u32, _s: AccessSize) -> u32 {
+            self.loads += 1;
+            self.last
+        }
+        fn store(&mut self, _a: u32, _s: AccessSize, v: u32) {
+            self.last = v;
+        }
+    }
+
+    #[test]
+    fn ram_loads_and_stores_with_lanes() {
+        let mut ms = MemSystem::new(BeMemory::with_size(64), NoMmio);
+        ms.store(
+            0,
+            MemOp {
+                kind: MemKind::Sw,
+                addr: 8,
+                value: 0xAABB_CCDD,
+            },
+        );
+        ms.store(
+            1,
+            MemOp {
+                kind: MemKind::Sb,
+                addr: 9,
+                value: 0x11,
+            },
+        );
+        assert_eq!(
+            ms.load(
+                2,
+                MemOp {
+                    kind: MemKind::Lw,
+                    addr: 8,
+                    value: 0
+                }
+            ),
+            0xAABB_11DD
+        );
+        assert_eq!(
+            ms.load(
+                3,
+                MemOp {
+                    kind: MemKind::Lbu,
+                    addr: 9,
+                    value: 0
+                }
+            ),
+            0x11
+        );
+        assert!(ms.trace.is_empty(), "RAM traffic produces no labels");
+    }
+
+    #[test]
+    fn mmio_traffic_is_labelled() {
+        let mut ms = MemSystem::new(BeMemory::with_size(64), Dev::default());
+        ms.store(
+            5,
+            MemOp {
+                kind: MemKind::Sw,
+                addr: 0x1000_0000,
+                value: 42,
+            },
+        );
+        let v = ms.load(
+            9,
+            MemOp {
+                kind: MemKind::Lw,
+                addr: 0x1000_0004,
+                value: 0,
+            },
+        );
+        assert_eq!(v, 42);
+        assert_eq!(
+            ms.trace,
+            vec![
+                TraceEvent {
+                    cycle: 5,
+                    event: MmioEvent::store(0x1000_0000, 42)
+                },
+                TraceEvent {
+                    cycle: 9,
+                    event: MmioEvent::load(0x1000_0004, 42)
+                },
+            ]
+        );
+        assert_eq!(ms.events().len(), 2);
+    }
+
+    #[test]
+    fn fetch_reads_ram() {
+        let mut ms = MemSystem::new(BeMemory::with_size(64), NoMmio);
+        ms.store(
+            0,
+            MemOp {
+                kind: MemKind::Sw,
+                addr: 12,
+                value: 0x1234,
+            },
+        );
+        assert_eq!(ms.fetch(12), 0x1234);
+    }
+}

@@ -1,0 +1,184 @@
+//! Assertions over symbolic words.
+
+use crate::term::Term;
+use bedrock2::ast::BinOp;
+use std::fmt;
+
+/// A formula over symbolic 32-bit words.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// `a = b`.
+    Eq(Term, Term),
+    /// `a ≠ b`.
+    Ne(Term, Term),
+    /// Unsigned `a < b`.
+    Ltu(Term, Term),
+    /// Unsigned `a ≤ b`.
+    Leu(Term, Term),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "⊤"),
+            Formula::False => write!(f, "⊥"),
+            Formula::Eq(a, b) => write!(f, "{a:?} = {b:?}"),
+            Formula::Ne(a, b) => write!(f, "{a:?} ≠ {b:?}"),
+            Formula::Ltu(a, b) => write!(f, "{a:?} <u {b:?}"),
+            Formula::Leu(a, b) => write!(f, "{a:?} ≤u {b:?}"),
+            Formula::And(a, b) => write!(f, "({a:?} ∧ {b:?})"),
+            Formula::Or(a, b) => write!(f, "({a:?} ∨ {b:?})"),
+            Formula::Not(a) => write!(f, "¬({a:?})"),
+        }
+    }
+}
+
+impl Formula {
+    /// `a = b`, simplified when both sides are constant.
+    pub fn eq(a: &Term, b: &Term) -> Formula {
+        match (a.as_const(), b.as_const()) {
+            (Some(x), Some(y)) if x == y => Formula::True,
+            (Some(_), Some(_)) => Formula::False,
+            _ if a == b => Formula::True,
+            _ => Formula::Eq(a.clone(), b.clone()),
+        }
+    }
+
+    /// `a ≠ b`.
+    pub fn ne(a: &Term, b: &Term) -> Formula {
+        Formula::eq(a, b).negate()
+    }
+
+    /// Unsigned `a < b`.
+    pub fn ltu(a: &Term, b: &Term) -> Formula {
+        match (a.as_const(), b.as_const()) {
+            (Some(x), Some(y)) => {
+                if x < y {
+                    Formula::True
+                } else {
+                    Formula::False
+                }
+            }
+            (_, Some(0)) => Formula::False,
+            _ if a == b => Formula::False,
+            _ => Formula::Ltu(a.clone(), b.clone()),
+        }
+    }
+
+    /// Unsigned `a ≤ b`.
+    pub fn leu(a: &Term, b: &Term) -> Formula {
+        match (a.as_const(), b.as_const()) {
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    Formula::True
+                } else {
+                    Formula::False
+                }
+            }
+            _ if a == b => Formula::True,
+            _ => Formula::Leu(a.clone(), b.clone()),
+        }
+    }
+
+    /// Conjunction, short-circuiting constants.
+    pub fn and(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::True, f) | (f, Formula::True) => f,
+            (Formula::False, _) | (_, Formula::False) => Formula::False,
+            (a, b) => Formula::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction, short-circuiting constants.
+    pub fn or(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::False, f) | (f, Formula::False) => f,
+            (Formula::True, _) | (_, Formula::True) => Formula::True,
+            (a, b) => Formula::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Negation, pushed through the structure where cheap.
+    pub fn negate(self) -> Formula {
+        match self {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Eq(a, b) => Formula::Ne(a, b),
+            Formula::Ne(a, b) => Formula::Eq(a, b),
+            Formula::Ltu(a, b) => Formula::Leu(b, a),
+            Formula::Leu(a, b) => Formula::Ltu(b, a),
+            Formula::Not(f) => *f,
+            f => Formula::Not(Box::new(f)),
+        }
+    }
+
+    /// The truth of a Bedrock2 condition term: `t ≠ 0`.
+    pub fn truthy(t: &Term) -> Formula {
+        // Comparisons produce 0/1; express their truth directly.
+        if let Some((op, a, b)) = t.as_op() {
+            match op {
+                BinOp::Eq => return Formula::eq(a, b),
+                BinOp::Ltu => return Formula::ltu(a, b),
+                _ => {}
+            }
+        }
+        Formula::ne(t, &Term::constant(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_comparisons_decide() {
+        let two = Term::constant(2);
+        let three = Term::constant(3);
+        assert_eq!(Formula::ltu(&two, &three), Formula::True);
+        assert_eq!(Formula::ltu(&three, &two), Formula::False);
+        assert_eq!(Formula::eq(&two, &two), Formula::True);
+    }
+
+    #[test]
+    fn nothing_is_below_zero() {
+        let x = Term::var(0, "x");
+        assert_eq!(Formula::ltu(&x, &Term::constant(0)), Formula::False);
+    }
+
+    #[test]
+    fn negation_flips_comparisons() {
+        let (a, b) = (Term::var(0, "a"), Term::var(1, "b"));
+        assert_eq!(
+            Formula::ltu(&a, &b).negate(),
+            Formula::Leu(b.clone(), a.clone())
+        );
+        assert_eq!(Formula::eq(&a, &b).negate(), Formula::Ne(a, b));
+    }
+
+    #[test]
+    fn truthy_unwraps_comparison_terms() {
+        let (a, b) = (Term::var(0, "a"), Term::var(1, "b"));
+        let cmp = Term::op(BinOp::Ltu, &a, &b);
+        assert_eq!(Formula::truthy(&cmp), Formula::Ltu(a.clone(), b.clone()));
+        assert_eq!(Formula::truthy(&a), Formula::Ne(a, Term::constant(0)));
+    }
+
+    #[test]
+    fn connectives_short_circuit() {
+        let f = Formula::Ltu(Term::var(0, "a"), Term::var(1, "b"));
+        assert_eq!(Formula::True.and(f.clone()), f);
+        assert_eq!(Formula::False.and(f.clone()), Formula::False);
+        assert_eq!(Formula::False.or(f.clone()), f);
+        assert_eq!(Formula::True.or(f), Formula::True);
+    }
+}

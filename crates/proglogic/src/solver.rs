@@ -1,0 +1,577 @@
+//! A lightweight prover for word formulas.
+//!
+//! The paper spent much of its engineering budget fighting Coq tactic
+//! performance on exactly these goals — linear arithmetic, bitvectors,
+//! bounds (§7.3.1). This module is the corresponding "layer-specific tool":
+//! a small, predictable decision procedure combining
+//!
+//! 1. substitution of variable-equals-constant assumptions,
+//! 2. eager term simplification (in [`crate::term`]),
+//! 3. unsigned interval analysis seeded by the assumptions, and
+//! 4. structural decomposition of the goal.
+//!
+//! It is deliberately incomplete: [`Outcome::Unknown`] means "not proved",
+//! never "false". The symbolic executor treats Unknown as a verification
+//! failure, the same stance a proof assistant takes toward an unfinished
+//! goal.
+
+use crate::formula::Formula;
+use crate::term::{SymVar, Term};
+use bedrock2::ast::BinOp;
+use std::collections::HashMap;
+
+/// Result of a proof attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The goal follows from the assumptions.
+    Proved,
+    /// The procedure could not establish the goal (it may still be true).
+    Unknown,
+}
+
+/// An unsigned interval `[lo, hi]` (inclusive).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Iv {
+    lo: u32,
+    hi: u32,
+}
+
+impl Iv {
+    const FULL: Iv = Iv {
+        lo: 0,
+        hi: u32::MAX,
+    };
+
+    fn point(c: u32) -> Iv {
+        Iv { lo: c, hi: c }
+    }
+
+    fn meet(self, other: Iv) -> Iv {
+        Iv {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+}
+
+struct Ctx {
+    subst: HashMap<SymVar, Term>,
+    facts: HashMap<Term, Iv>,
+}
+
+/// Rewrites assumptions that reify comparisons as 0/1-valued *terms* into
+/// direct formulas: `(a <u b) = 0` becomes `b ≤u a`, `(a = b) ≠ 0` becomes
+/// `a = b`, and so on. Bedrock2 conditions produce exactly these shapes.
+fn normalize(a: &Formula, out: &mut Vec<Formula>) {
+    let reified = |t: &Term, truth: bool| -> Option<Formula> {
+        let (op, x, y) = t.as_op()?;
+        match (op, truth) {
+            (BinOp::Ltu, true) => Some(Formula::Ltu(x.clone(), y.clone())),
+            (BinOp::Ltu, false) => Some(Formula::Leu(y.clone(), x.clone())),
+            (BinOp::Eq, true) => Some(Formula::Eq(x.clone(), y.clone())),
+            (BinOp::Eq, false) => Some(Formula::Ne(x.clone(), y.clone())),
+            _ => None,
+        }
+    };
+    match a {
+        Formula::And(x, y) => {
+            normalize(x, out);
+            normalize(y, out);
+        }
+        Formula::Eq(l, r) | Formula::Ne(l, r) => {
+            // `a | b = 0` holds iff both halves are zero (for any terms),
+            // so split it — this is how a source-level guard like
+            // `if (len < MIN) | (MAX < len)` delivers both bounds.
+            if matches!(a, Formula::Eq(..)) {
+                let or_operand = match (l.as_const(), r.as_const()) {
+                    (_, Some(0)) => Some(l),
+                    (Some(0), _) => Some(r),
+                    _ => None,
+                };
+                if let Some(t) = or_operand {
+                    if let Some((BinOp::Or, x, y)) = t.as_op() {
+                        normalize(&Formula::Eq(x.clone(), Term::constant(0)), out);
+                        normalize(&Formula::Eq(y.clone(), Term::constant(0)), out);
+                        return;
+                    }
+                }
+            }
+            let negated = matches!(a, Formula::Eq(..));
+            // `t = 0` asserts the comparison is false; `t ≠ 0` that it is
+            // true (and symmetrically for a constant on the left).
+            let rewritten = match (l.as_const(), r.as_const()) {
+                (_, Some(0)) => reified(l, !negated),
+                (Some(0), _) => reified(r, !negated),
+                (_, Some(1)) if negated => reified(l, true),
+                (Some(1), _) if negated => reified(r, true),
+                _ => None,
+            };
+            match rewritten {
+                Some(f) => {
+                    normalize(&f, out);
+                    out.push(a.clone()); // keep the original fact too
+                }
+                None => out.push(a.clone()),
+            }
+        }
+        _ => out.push(a.clone()),
+    }
+}
+
+impl Ctx {
+    fn from_assumptions(raw: &[Formula]) -> Ctx {
+        let mut assumptions = Vec::with_capacity(raw.len());
+        for a in raw {
+            normalize(a, &mut assumptions);
+        }
+        let assumptions = &assumptions;
+        let mut ctx = Ctx {
+            subst: HashMap::new(),
+            facts: HashMap::new(),
+        };
+        // Pass 1: collect var = const substitutions.
+        for a in assumptions {
+            if let Formula::Eq(l, r) = a {
+                match (l.as_var(), r.as_const(), r.as_var(), l.as_const()) {
+                    (Some(v), Some(c), _, _) | (_, _, Some(v), Some(c)) => {
+                        ctx.subst.insert(v.clone(), Term::constant(c));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Pass 2: interval facts over substituted terms.
+        for a in assumptions {
+            match a {
+                Formula::Ltu(l, r) => {
+                    let (l, r) = (ctx.substitute(l), ctx.substitute(r));
+                    if let Some(c) = r.as_const() {
+                        if c > 0 {
+                            ctx.add_fact(l.clone(), Iv { lo: 0, hi: c - 1 });
+                        }
+                    }
+                    if let Some(c) = l.as_const() {
+                        if c < u32::MAX {
+                            ctx.add_fact(
+                                r,
+                                Iv {
+                                    lo: c + 1,
+                                    hi: u32::MAX,
+                                },
+                            );
+                        }
+                    }
+                }
+                Formula::Leu(l, r) => {
+                    let (l, r) = (ctx.substitute(l), ctx.substitute(r));
+                    if let Some(c) = r.as_const() {
+                        ctx.add_fact(l.clone(), Iv { lo: 0, hi: c });
+                    }
+                    if let Some(c) = l.as_const() {
+                        ctx.add_fact(
+                            r,
+                            Iv {
+                                lo: c,
+                                hi: u32::MAX,
+                            },
+                        );
+                    }
+                }
+                Formula::Eq(l, r) => {
+                    let (l, r) = (ctx.substitute(l), ctx.substitute(r));
+                    if let Some(c) = r.as_const() {
+                        ctx.add_fact(l, Iv::point(c));
+                    } else if let Some(c) = l.as_const() {
+                        ctx.add_fact(r, Iv::point(c));
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Pass 3 (iterated): comparisons against non-constant terms
+        // propagate the right-hand side's *derived* interval — e.g. from
+        // `i <u n` and `n ≤ 380` conclude `i ≤ 379`. Two rounds chain
+        // one level of indirection each.
+        for _ in 0..2 {
+            for a in assumptions {
+                match a {
+                    Formula::Ltu(l, r) => {
+                        let (l, r) = (ctx.substitute(l), ctx.substitute(r));
+                        let (il, ir) = (ctx.interval(&l), ctx.interval(&r));
+                        if ir.hi > 0 {
+                            ctx.add_fact(
+                                l,
+                                Iv {
+                                    lo: 0,
+                                    hi: ir.hi - 1,
+                                },
+                            );
+                        }
+                        if il.lo < u32::MAX {
+                            ctx.add_fact(
+                                r,
+                                Iv {
+                                    lo: il.lo + 1,
+                                    hi: u32::MAX,
+                                },
+                            );
+                        }
+                    }
+                    Formula::Leu(l, r) => {
+                        let (l, r) = (ctx.substitute(l), ctx.substitute(r));
+                        let (il, ir) = (ctx.interval(&l), ctx.interval(&r));
+                        ctx.add_fact(l, Iv { lo: 0, hi: ir.hi });
+                        ctx.add_fact(
+                            r,
+                            Iv {
+                                lo: il.lo,
+                                hi: u32::MAX,
+                            },
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        ctx
+    }
+
+    fn add_fact(&mut self, t: Term, iv: Iv) {
+        let cur = self.facts.get(&t).copied().unwrap_or(Iv::FULL);
+        self.facts.insert(t, cur.meet(iv));
+    }
+
+    fn substitute(&self, t: &Term) -> Term {
+        if self.subst.is_empty() {
+            return t.clone();
+        }
+        if let Some(v) = t.as_var() {
+            return self.subst.get(v).cloned().unwrap_or_else(|| t.clone());
+        }
+        if let Some((op, a, b)) = t.as_op() {
+            return Term::op(op, &self.substitute(a), &self.substitute(b));
+        }
+        t.clone()
+    }
+
+    /// Any assumption's interval became empty ⇒ contradictory context.
+    fn contradictory(&self) -> bool {
+        self.facts.values().any(|iv| iv.is_empty())
+    }
+
+    fn interval(&self, t: &Term) -> Iv {
+        let computed = if let Some(c) = t.as_const() {
+            Iv::point(c)
+        } else if let Some((op, a, b)) = t.as_op() {
+            let (ia, ib) = (self.interval(a), self.interval(b));
+            match op {
+                BinOp::Add => {
+                    let lo = ia.lo as u64 + ib.lo as u64;
+                    let hi = ia.hi as u64 + ib.hi as u64;
+                    if hi <= u32::MAX as u64 {
+                        Iv {
+                            lo: lo as u32,
+                            hi: hi as u32,
+                        }
+                    } else {
+                        Iv::FULL
+                    }
+                }
+                BinOp::Sub => {
+                    if ia.lo >= ib.hi {
+                        Iv {
+                            lo: ia.lo - ib.hi,
+                            hi: ia.hi - ib.lo,
+                        }
+                    } else {
+                        Iv::FULL
+                    }
+                }
+                BinOp::Mul => {
+                    let hi = ia.hi as u64 * ib.hi as u64;
+                    if hi <= u32::MAX as u64 {
+                        Iv {
+                            lo: ia.lo.wrapping_mul(ib.lo),
+                            hi: hi as u32,
+                        }
+                    } else {
+                        Iv::FULL
+                    }
+                }
+                BinOp::And => {
+                    // a & b ≤ min(hi(a), hi(b)).
+                    Iv {
+                        lo: 0,
+                        hi: ia.hi.min(ib.hi),
+                    }
+                }
+                BinOp::RemU => {
+                    if ib.lo > 0 {
+                        Iv {
+                            lo: 0,
+                            hi: ia.hi.min(ib.hi - 1),
+                        }
+                    } else {
+                        // Remainder by a possibly-zero divisor yields the
+                        // dividend in the zero case.
+                        Iv { lo: 0, hi: ia.hi }
+                    }
+                }
+                BinOp::DivU => match ia.hi.checked_div(ib.lo) {
+                    Some(hi) => Iv { lo: 0, hi },
+                    None => Iv::FULL,
+                },
+                BinOp::Sru => {
+                    if let Some(s) = b.as_const() {
+                        Iv {
+                            lo: ia.lo >> (s & 31),
+                            hi: ia.hi >> (s & 31),
+                        }
+                    } else {
+                        Iv { lo: 0, hi: ia.hi }
+                    }
+                }
+                BinOp::Slu => {
+                    if let Some(s) = b.as_const() {
+                        let s = s & 31;
+                        if (ia.hi as u64) << s <= u32::MAX as u64 {
+                            Iv {
+                                lo: ia.lo << s,
+                                hi: ia.hi << s,
+                            }
+                        } else {
+                            Iv::FULL
+                        }
+                    } else {
+                        Iv::FULL
+                    }
+                }
+                BinOp::Eq | BinOp::Ltu | BinOp::Lts => Iv { lo: 0, hi: 1 },
+                BinOp::Or | BinOp::Xor => {
+                    // Bounded by the next power of two covering both
+                    // operands' bounds. Computed in u64: in u32,
+                    // `(m + 1).next_power_of_two()` overflows to 0 for
+                    // m ≥ 0x8000_0000, which once made this interval
+                    // collapse to [0,0] and proved a false goal — found by
+                    // the soundness fuzzer (tests/solver_soundness.rs).
+                    let m = ia.hi.max(ib.hi) as u64;
+                    let hi = u32::try_from((m + 1).next_power_of_two() - 1).unwrap_or(u32::MAX);
+                    // a | b is also at least as large as either operand.
+                    let lo = if op == BinOp::Or { ia.lo.max(ib.lo) } else { 0 };
+                    Iv { lo, hi }
+                }
+                _ => Iv::FULL,
+            }
+        } else {
+            Iv::FULL
+        };
+        match self.facts.get(t) {
+            Some(f) => computed.meet(*f),
+            None => computed,
+        }
+    }
+
+    fn prove(&self, goal: &Formula) -> Outcome {
+        use Formula::*;
+        match goal {
+            True => Outcome::Proved,
+            False => Outcome::Unknown,
+            And(a, b) => {
+                if self.prove(a) == Outcome::Proved && self.prove(b) == Outcome::Proved {
+                    Outcome::Proved
+                } else {
+                    Outcome::Unknown
+                }
+            }
+            Or(a, b) => {
+                if self.prove(a) == Outcome::Proved || self.prove(b) == Outcome::Proved {
+                    Outcome::Proved
+                } else {
+                    Outcome::Unknown
+                }
+            }
+            Not(f) => self.prove(&f.clone().negate()),
+            Eq(l, r) => {
+                let (l, r) = (self.substitute(l), self.substitute(r));
+                if l == r {
+                    return Outcome::Proved;
+                }
+                let (il, ir) = (self.interval(&l), self.interval(&r));
+                if il.lo == il.hi && ir.lo == ir.hi && il.lo == ir.lo {
+                    Outcome::Proved
+                } else {
+                    Outcome::Unknown
+                }
+            }
+            Ne(l, r) => {
+                let (l, r) = (self.substitute(l), self.substitute(r));
+                let (il, ir) = (self.interval(&l), self.interval(&r));
+                if il.hi < ir.lo || ir.hi < il.lo {
+                    Outcome::Proved
+                } else {
+                    Outcome::Unknown
+                }
+            }
+            Ltu(l, r) => {
+                let (l, r) = (self.substitute(l), self.substitute(r));
+                let (il, ir) = (self.interval(&l), self.interval(&r));
+                if il.hi < ir.lo {
+                    Outcome::Proved
+                } else {
+                    Outcome::Unknown
+                }
+            }
+            Leu(l, r) => {
+                let (l, r) = (self.substitute(l), self.substitute(r));
+                if l == r {
+                    return Outcome::Proved;
+                }
+                let (il, ir) = (self.interval(&l), self.interval(&r));
+                if il.hi <= ir.lo {
+                    Outcome::Proved
+                } else {
+                    Outcome::Unknown
+                }
+            }
+        }
+    }
+}
+
+/// Attempts to prove `goal` from `assumptions`.
+///
+/// A contradictory assumption set proves anything (the vacuous case that
+/// arises on infeasible symbolic paths).
+pub fn prove(assumptions: &[Formula], goal: &Formula) -> Outcome {
+    if assumptions.contains(&Formula::False) {
+        return Outcome::Proved;
+    }
+    let ctx = Ctx::from_assumptions(assumptions);
+    if ctx.contradictory() {
+        return Outcome::Proved;
+    }
+    ctx.prove(goal)
+}
+
+/// True when the assumptions are unsatisfiable as far as this procedure
+/// can tell (used to prune infeasible symbolic paths).
+pub fn contradictory(assumptions: &[Formula]) -> bool {
+    if assumptions.contains(&Formula::False) {
+        return true;
+    }
+    let ctx = Ctx::from_assumptions(assumptions);
+    if ctx.contradictory() {
+        return true;
+    }
+    // Also try refuting each assumption from the others' intervals.
+    for a in assumptions {
+        if ctx.prove(&a.clone().negate()) == Outcome::Proved {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(id: u32, name: &str) -> Term {
+        Term::var(id, name)
+    }
+    fn c(x: u32) -> Term {
+        Term::constant(x)
+    }
+
+    #[test]
+    fn constant_goals() {
+        assert_eq!(prove(&[], &Formula::ltu(&c(2), &c(3))), Outcome::Proved);
+        assert_eq!(prove(&[], &Formula::ltu(&c(3), &c(2))), Outcome::Unknown);
+    }
+
+    #[test]
+    fn substitution_of_known_vars() {
+        let x = v(0, "x");
+        let assms = [Formula::eq(&x, &c(10))];
+        let goal = Formula::ltu(&x.add_const(5), &c(16));
+        assert_eq!(prove(&assms, &goal), Outcome::Proved);
+    }
+
+    #[test]
+    fn interval_bounds_flow_through_arithmetic() {
+        // len < 1520 ⊢ len + 16 < 2048
+        let len = v(0, "len");
+        let assms = [Formula::ltu(&len, &c(1520))];
+        assert_eq!(
+            prove(&assms, &Formula::ltu(&len.add_const(16), &c(2048))),
+            Outcome::Proved
+        );
+        // …but not len + 16 < 1000
+        assert_eq!(
+            prove(&assms, &Formula::ltu(&len.add_const(16), &c(1000))),
+            Outcome::Unknown
+        );
+    }
+
+    #[test]
+    fn masking_bounds() {
+        // ⊢ (x & 0xFF) < 256, unconditionally
+        let x = v(0, "x");
+        let masked = Term::op(BinOp::And, &x, &c(0xFF));
+        assert_eq!(prove(&[], &Formula::ltu(&masked, &c(256))), Outcome::Proved);
+    }
+
+    #[test]
+    fn remainder_bounds() {
+        let x = v(0, "x");
+        let r = Term::op(BinOp::RemU, &x, &c(4));
+        assert_eq!(prove(&[], &Formula::ltu(&r, &c(4))), Outcome::Proved);
+    }
+
+    #[test]
+    fn shifts_and_division() {
+        let x = v(0, "x");
+        let assms = [Formula::ltu(&x, &c(0x1000))];
+        let q = Term::op(BinOp::DivU, &x, &c(16));
+        assert_eq!(prove(&assms, &Formula::ltu(&q, &c(0x100))), Outcome::Proved);
+        let s = Term::op(BinOp::Sru, &x, &c(4));
+        assert_eq!(prove(&assms, &Formula::ltu(&s, &c(0x100))), Outcome::Proved);
+    }
+
+    #[test]
+    fn disequality_by_disjoint_intervals() {
+        let x = v(0, "x");
+        let assms = [Formula::ltu(&x, &c(10))];
+        assert_eq!(prove(&assms, &Formula::ne(&x, &c(50))), Outcome::Proved);
+        assert_eq!(prove(&assms, &Formula::ne(&x, &c(5))), Outcome::Unknown);
+    }
+
+    #[test]
+    fn contradiction_proves_anything() {
+        let x = v(0, "x");
+        let assms = [Formula::ltu(&x, &c(3)), Formula::Leu(c(7), x.clone())];
+        assert!(contradictory(&assms));
+        assert_eq!(prove(&assms, &Formula::eq(&c(0), &c(1))), Outcome::Proved);
+    }
+
+    #[test]
+    fn conjunction_and_disjunction() {
+        let x = v(0, "x");
+        let assms = [Formula::ltu(&x, &c(4))];
+        let g = Formula::ltu(&x, &c(8)).and(Formula::leu(&x, &c(3)));
+        assert_eq!(prove(&assms, &g), Outcome::Proved);
+        let g = Formula::ltu(&c(9), &x).or(Formula::ltu(&x, &c(5)));
+        assert_eq!(prove(&assms, &g), Outcome::Proved);
+    }
+
+    #[test]
+    fn unknown_stays_unknown() {
+        let x = v(0, "x");
+        let y = v(1, "y");
+        assert_eq!(prove(&[], &Formula::ltu(&x, &y)), Outcome::Unknown);
+        assert!(!contradictory(&[Formula::ltu(&x, &y)]));
+    }
+}

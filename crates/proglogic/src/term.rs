@@ -1,0 +1,250 @@
+//! Symbolic 32-bit words.
+//!
+//! Terms are built over the same operator set as Bedrock2 expressions
+//! ([`bedrock2::ast::BinOp`]), so the symbolic executor can mirror the
+//! source semantics one constructor at a time. Construction simplifies
+//! eagerly (constant folding and a few identities), which keeps the terms
+//! the solver sees small.
+
+use bedrock2::ast::BinOp;
+use std::fmt;
+use std::rc::Rc;
+
+/// A symbolic variable: a unique id plus a human-readable name.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SymVar {
+    /// Unique within one symbolic execution.
+    pub id: u32,
+    /// Diagnostic name (e.g. the Bedrock2 variable or `MMIOREAD#3`).
+    pub name: String,
+}
+
+#[derive(Debug, PartialEq, Eq, Hash)]
+enum Node {
+    Const(u32),
+    Var(SymVar),
+    Op(BinOp, Term, Term),
+}
+
+/// A symbolic word.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Term {
+    node: Rc<Node>,
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &*self.node {
+            Node::Const(c) => {
+                if *c >= 0x1000 {
+                    write!(f, "0x{c:x}")
+                } else {
+                    write!(f, "{c}")
+                }
+            }
+            Node::Var(v) => write!(f, "{}#{}", v.name, v.id),
+            Node::Op(op, a, b) => write!(f, "({a:?} {} {b:?})", op.symbol()),
+        }
+    }
+}
+
+impl Term {
+    /// A constant word.
+    pub fn constant(c: u32) -> Term {
+        Term {
+            node: Rc::new(Node::Const(c)),
+        }
+    }
+
+    /// A symbolic variable.
+    pub fn var(id: u32, name: &str) -> Term {
+        Term {
+            node: Rc::new(Node::Var(SymVar {
+                id,
+                name: name.to_string(),
+            })),
+        }
+    }
+
+    /// The constant value, when this term is a constant.
+    pub fn as_const(&self) -> Option<u32> {
+        match &*self.node {
+            Node::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The variable, when this term is a bare variable.
+    pub fn as_var(&self) -> Option<&SymVar> {
+        match &*self.node {
+            Node::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Destructures an operator application.
+    pub fn as_op(&self) -> Option<(BinOp, &Term, &Term)> {
+        match &*self.node {
+            Node::Op(op, a, b) => Some((*op, a, b)),
+            _ => None,
+        }
+    }
+
+    /// Applies a binary operator, simplifying eagerly.
+    pub fn op(op: BinOp, a: &Term, b: &Term) -> Term {
+        if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+            return Term::constant(op.eval(x, y));
+        }
+        match (op, a.as_const(), b.as_const()) {
+            // x + 0, x - 0, x | 0, x ^ 0, x >> 0, x << 0
+            (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor, _, Some(0)) => return a.clone(),
+            (BinOp::Sru | BinOp::Slu | BinOp::Srs, _, Some(0)) => return a.clone(),
+            (BinOp::Add | BinOp::Or | BinOp::Xor, Some(0), _) => return b.clone(),
+            (BinOp::Mul, _, Some(1)) => return a.clone(),
+            (BinOp::Mul, Some(1), _) => return b.clone(),
+            (BinOp::Mul | BinOp::And, _, Some(0)) => return Term::constant(0),
+            (BinOp::Mul | BinOp::And, Some(0), _) => return Term::constant(0),
+            (BinOp::And, _, Some(u32::MAX)) => return a.clone(),
+            (BinOp::And, Some(u32::MAX), _) => return b.clone(),
+            _ => {}
+        }
+        // Divisibility through multiplication: for a power-of-two modulus d
+        // dividing the constant factor c, (x·c) mod d = 0 and (x·c) & (d−1)
+        // = 0 — valid under wrapping because d divides 2³². These discharge
+        // the alignment obligations of symbolic array indexing (buf + 4·i).
+        if let (BinOp::RemU | BinOp::And, Some((BinOp::Mul, _x, cf)), Some(m)) =
+            (op, a.as_op(), b.as_const())
+        {
+            if let Some(c) = cf.as_const() {
+                let modulus = match op {
+                    BinOp::RemU => m,
+                    _ => m.wrapping_add(1),
+                };
+                if modulus != 0 && modulus.is_power_of_two() && c % modulus == 0 {
+                    return Term::constant(0);
+                }
+            }
+        }
+        if a == b {
+            match op {
+                BinOp::Sub | BinOp::Xor => return Term::constant(0),
+                BinOp::And | BinOp::Or => return a.clone(),
+                BinOp::Eq => return Term::constant(1),
+                BinOp::Ltu | BinOp::Lts => return Term::constant(0),
+                _ => {}
+            }
+        }
+        // Normalize (x + c1) + c2 → x + (c1+c2); likewise for sub mixed in.
+        if let (BinOp::Add | BinOp::Sub, Some(c2)) = (op, b.as_const()) {
+            let signed2 = if op == BinOp::Sub {
+                c2.wrapping_neg()
+            } else {
+                c2
+            };
+            if let Some((BinOp::Add, x, c1t)) = a.as_op() {
+                if let Some(c1) = c1t.as_const() {
+                    return Term::op(BinOp::Add, x, &Term::constant(c1.wrapping_add(signed2)));
+                }
+            }
+            if op == BinOp::Sub {
+                return Term::op(BinOp::Add, a, &Term::constant(signed2));
+            }
+        }
+        Term {
+            node: Rc::new(Node::Op(op, a.clone(), b.clone())),
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Term) -> Term {
+        Term::op(BinOp::Add, self, other)
+    }
+
+    /// `self + c`.
+    pub fn add_const(&self, c: u32) -> Term {
+        self.add(&Term::constant(c))
+    }
+
+    /// Decomposes into `(base, offset)` where `self = base + offset` and
+    /// `offset` is constant (offset 0 when no addition is present). The
+    /// workhorse of symbolic address resolution.
+    pub fn split_offset(&self) -> (Term, u32) {
+        if let Some((BinOp::Add, x, c)) = self.as_op() {
+            if let Some(c) = c.as_const() {
+                return (x.clone(), c);
+            }
+        }
+        (self.clone(), 0)
+    }
+
+    /// All symbolic variables occurring in the term.
+    pub fn vars(&self) -> Vec<SymVar> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<SymVar>) {
+        match &*self.node {
+            Node::Const(_) => {}
+            Node::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Node::Op(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_fold() {
+        let t = Term::op(BinOp::Add, &Term::constant(2), &Term::constant(3));
+        assert_eq!(t.as_const(), Some(5));
+        let t = Term::op(BinOp::DivU, &Term::constant(7), &Term::constant(0));
+        assert_eq!(t.as_const(), Some(u32::MAX));
+    }
+
+    #[test]
+    fn identities_simplify() {
+        let x = Term::var(0, "x");
+        assert_eq!(Term::op(BinOp::Add, &x, &Term::constant(0)), x);
+        assert_eq!(Term::op(BinOp::Sub, &x, &x).as_const(), Some(0));
+        assert_eq!(Term::op(BinOp::Eq, &x, &x).as_const(), Some(1));
+        assert_eq!(
+            Term::op(BinOp::And, &x, &Term::constant(0)).as_const(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn offset_chains_normalize() {
+        let x = Term::var(0, "x");
+        let t = x.add_const(4).add_const(8);
+        assert_eq!(t.split_offset(), (x.clone(), 12));
+        let t = Term::op(BinOp::Sub, &x.add_const(4), &Term::constant(8));
+        assert_eq!(t.split_offset(), (x, 4u32.wrapping_sub(8)));
+    }
+
+    #[test]
+    fn vars_are_collected_once() {
+        let x = Term::var(0, "x");
+        let y = Term::var(1, "y");
+        let t = Term::op(BinOp::Add, &x, &Term::op(BinOp::Mul, &x, &y));
+        assert_eq!(t.vars().len(), 2);
+    }
+
+    #[test]
+    fn debug_renders_readably() {
+        let x = Term::var(3, "len");
+        let t = Term::op(BinOp::Ltu, &x, &Term::constant(1520));
+        assert_eq!(format!("{t:?}"), "(len#3 < 1520)");
+    }
+}

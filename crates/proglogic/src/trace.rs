@@ -1,0 +1,466 @@
+//! Trace predicates: the regex-like specification language of §3.1.
+//!
+//! A [`TracePred`] denotes a set of I/O traces (sequences of
+//! [`MmioEvent`]s). The combinators mirror the paper's notation:
+//!
+//! | paper        | here                   |
+//! |--------------|------------------------|
+//! | `P +++ Q`    | [`TracePred::then`]    |
+//! | `P \|\|\| Q` | [`TracePred::or`]      |
+//! | `P ^*`       | [`TracePred::star`]    |
+//! | `EX b, P b`  | [`TracePred::ex_bool`] |
+//!
+//! Because trace predicates remain ordinary logical functions in the paper
+//! (retaining "the full expressive power of higher-order logic"), atoms
+//! here are arbitrary predicates on one event, and [`TracePred::matches`]
+//! is decided by dynamic programming with per-node length bounds to keep
+//! matching fast on long traces.
+//!
+//! The end-to-end theorem constrains *prefixes* of traces (the system may
+//! be mid-interaction when observed); [`TracePred::matches_prefix`] decides
+//! "can this trace be extended to a member of the set", under the
+//! assumption that every sub-predicate is satisfiable (all of the
+//! lightbulb's are).
+
+use riscv_spec::MmioEvent;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A predicate over one I/O event, with a name for diagnostics.
+#[derive(Clone)]
+pub struct EventPred {
+    name: String,
+    f: Rc<dyn Fn(&MmioEvent) -> bool>,
+}
+
+impl fmt::Debug for EventPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+enum Node {
+    /// The empty trace.
+    Eps,
+    /// Exactly one event satisfying the predicate.
+    Atom(EventPred),
+    /// Concatenation (`+++`).
+    Concat(TracePred, TracePred),
+    /// Union (`|||`).
+    Union(TracePred, TracePred),
+    /// Zero or more repetitions (`^*`).
+    Star(TracePred),
+}
+
+/// A set of I/O traces, built from regex-like combinators.
+#[derive(Clone)]
+pub struct TracePred {
+    node: Rc<Node>,
+    /// Minimum length of any member.
+    min_len: usize,
+    /// Maximum length of any member (`None` = unbounded).
+    max_len: Option<usize>,
+    /// Optional display label ([`TracePred::named`]): rendered instead of
+    /// the structure, so large sub-specifications print as one token —
+    /// how the paper's spec stays "less than a page".
+    label: Option<Rc<str>>,
+}
+
+impl fmt::Debug for TracePred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(label) = &self.label {
+            return write!(f, "{label}");
+        }
+        match &*self.node {
+            Node::Eps => write!(f, "ε"),
+            Node::Atom(p) => write!(f, "{p:?}"),
+            Node::Concat(a, b) => write!(f, "({a:?} +++ {b:?})"),
+            Node::Union(a, b) => write!(f, "({a:?} ||| {b:?})"),
+            Node::Star(a) => write!(f, "({a:?})^*"),
+        }
+    }
+}
+
+impl TracePred {
+    fn mk(node: Node) -> TracePred {
+        let (min_len, max_len) = match &node {
+            Node::Eps => (0, Some(0)),
+            Node::Atom(_) => (1, Some(1)),
+            Node::Concat(a, b) => (
+                a.min_len + b.min_len,
+                match (a.max_len, b.max_len) {
+                    (Some(x), Some(y)) => Some(x + y),
+                    _ => None,
+                },
+            ),
+            Node::Union(a, b) => (
+                a.min_len.min(b.min_len),
+                match (a.max_len, b.max_len) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    _ => None,
+                },
+            ),
+            Node::Star(a) => (0, if a.max_len == Some(0) { Some(0) } else { None }),
+        };
+        TracePred {
+            node: Rc::new(node),
+            min_len,
+            max_len,
+            label: None,
+        }
+    }
+
+    /// Attaches a display name: `Debug` renders the name instead of the
+    /// full combinator structure (matching is unaffected).
+    pub fn named(mut self, name: &str) -> TracePred {
+        self.label = Some(Rc::from(name));
+        self
+    }
+
+    /// The set containing only the empty trace.
+    pub fn eps() -> TracePred {
+        TracePred::mk(Node::Eps)
+    }
+
+    /// The set of single-event traces whose event satisfies `f`.
+    pub fn atom(name: &str, f: impl Fn(&MmioEvent) -> bool + 'static) -> TracePred {
+        TracePred::mk(Node::Atom(EventPred {
+            name: name.to_string(),
+            f: Rc::new(f),
+        }))
+    }
+
+    /// Concatenation — the paper's `+++`.
+    pub fn then(&self, next: &TracePred) -> TracePred {
+        TracePred::mk(Node::Concat(self.clone(), next.clone()))
+    }
+
+    /// Union — the paper's `|||`.
+    pub fn or(&self, other: &TracePred) -> TracePred {
+        TracePred::mk(Node::Union(self.clone(), other.clone()))
+    }
+
+    /// Zero or more repetitions — the paper's `^*`.
+    pub fn star(&self) -> TracePred {
+        TracePred::mk(Node::Star(self.clone()))
+    }
+
+    /// One or more repetitions.
+    pub fn plus(&self) -> TracePred {
+        self.then(&self.star())
+    }
+
+    /// Existential over a boolean — the paper's `EX b: bool, P b`
+    /// (a finite union).
+    pub fn ex_bool(f: impl Fn(bool) -> TracePred) -> TracePred {
+        f(false).or(&f(true))
+    }
+
+    /// Concatenation of a sequence of predicates.
+    pub fn all<I: IntoIterator<Item = TracePred>>(preds: I) -> TracePred {
+        let mut it = preds.into_iter();
+        let first = it.next().unwrap_or_else(TracePred::eps);
+        it.fold(first, |acc, p| acc.then(&p))
+    }
+
+    /// Union of a sequence of predicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence (the empty union is the empty set,
+    /// which no combinator here denotes).
+    pub fn any<I: IntoIterator<Item = TracePred>>(preds: I) -> TracePred {
+        let mut it = preds.into_iter();
+        let first = it.next().expect("any() needs at least one alternative");
+        it.fold(first, |acc, p| acc.or(&p))
+    }
+
+    /// Decides membership of `t` in the set.
+    ///
+    /// Matching exploits that traces are concrete: for each (node, start)
+    /// pair the *set of possible end positions* is computed and memoized.
+    /// Real specifications are nearly deterministic per event, so these
+    /// sets stay tiny and matching is close to linear in the trace length.
+    pub fn matches(&self, t: &[MmioEvent]) -> bool {
+        if !self.len_ok(t.len()) {
+            return false;
+        }
+        let mut memo = Memo::default();
+        self.ends(t, 0, &mut memo).contains(&t.len())
+    }
+
+    /// Decides whether `t` can be extended to a member (assuming every
+    /// sub-predicate is satisfiable).
+    pub fn matches_prefix(&self, t: &[MmioEvent]) -> bool {
+        let mut memo = Memo::default();
+        self.p(t, 0, &mut memo)
+    }
+
+    /// Length of the longest prefix of `t` accepted by
+    /// [`TracePred::matches_prefix`] — the diagnostic for "where did the
+    /// trace go wrong". Prefix acceptance is monotone (an extendable trace
+    /// has extendable prefixes), so binary search applies.
+    pub fn longest_matching_prefix(&self, t: &[MmioEvent]) -> usize {
+        if self.matches_prefix(t) {
+            return t.len();
+        }
+        let (mut lo, mut hi) = (0usize, t.len()); // lo matches, hi doesn't
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.matches_prefix(&t[..mid]) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    fn key(&self) -> usize {
+        Rc::as_ptr(&self.node) as *const u8 as usize
+    }
+
+    fn len_ok(&self, n: usize) -> bool {
+        n >= self.min_len && self.max_len.is_none_or(|m| n <= m)
+    }
+
+    /// The sorted set of positions `e` such that `t[lo..e]` is a member.
+    fn ends(&self, t: &[MmioEvent], lo: usize, memo: &mut Memo) -> Rc<Vec<usize>> {
+        if let Some(r) = memo.ends.get(&(self.key(), lo)) {
+            return Rc::clone(r);
+        }
+        let result: Vec<usize> = match &*self.node {
+            Node::Eps => vec![lo],
+            Node::Atom(pred) => {
+                if lo < t.len() && (pred.f)(&t[lo]) {
+                    vec![lo + 1]
+                } else {
+                    vec![]
+                }
+            }
+            Node::Concat(a, b) => {
+                let mut out = std::collections::BTreeSet::new();
+                for m in a.ends(t, lo, memo).iter() {
+                    out.extend(b.ends(t, *m, memo).iter().copied());
+                }
+                out.into_iter().collect()
+            }
+            Node::Union(a, b) => {
+                let mut out: std::collections::BTreeSet<usize> =
+                    a.ends(t, lo, memo).iter().copied().collect();
+                out.extend(b.ends(t, lo, memo).iter().copied());
+                out.into_iter().collect()
+            }
+            Node::Star(a) => {
+                // Reachability closure over iteration boundaries.
+                let mut seen = std::collections::BTreeSet::new();
+                seen.insert(lo);
+                let mut queue = vec![lo];
+                while let Some(s) = queue.pop() {
+                    for e in a.ends(t, s, memo).iter() {
+                        if *e != s && seen.insert(*e) {
+                            queue.push(*e);
+                        }
+                    }
+                }
+                seen.into_iter().collect()
+            }
+        };
+        let rc = Rc::new(result);
+        memo.ends.insert((self.key(), lo), Rc::clone(&rc));
+        rc
+    }
+
+    /// Whether the whole remaining trace `t[lo..]` is a prefix of some
+    /// member of this set.
+    fn p(&self, t: &[MmioEvent], lo: usize, memo: &mut Memo) -> bool {
+        let n = t.len();
+        if let Some(m) = self.max_len {
+            if n - lo > m {
+                return false;
+            }
+        }
+        if let Some(&r) = memo.prefix.get(&(self.key(), lo)) {
+            return r;
+        }
+        // Seed against ε-repetition cycles in Star.
+        memo.prefix.insert((self.key(), lo), false);
+        let r = match &*self.node {
+            Node::Eps => lo == n,
+            Node::Atom(pred) => lo == n || (n - lo == 1 && (pred.f)(&t[lo])),
+            Node::Concat(a, b) => {
+                let a_ends = a.ends(t, lo, memo);
+                a_ends.iter().any(|m| b.p(t, *m, memo)) || a.p(t, lo, memo)
+            }
+            Node::Union(a, b) => a.p(t, lo, memo) || b.p(t, lo, memo),
+            Node::Star(a) => {
+                // Reachable boundaries; prefix holds if any boundary is the
+                // end of the trace or starts a prefix of one more body.
+                let mut seen = std::collections::BTreeSet::new();
+                seen.insert(lo);
+                let mut queue = vec![lo];
+                let mut ok = false;
+                while let Some(s) = queue.pop() {
+                    if s == n || a.p(t, s, memo) {
+                        ok = true;
+                        break;
+                    }
+                    for e in a.ends(t, s, memo).iter() {
+                        if *e != s && seen.insert(*e) {
+                            queue.push(*e);
+                        }
+                    }
+                }
+                ok
+            }
+        };
+        memo.prefix.insert((self.key(), lo), r);
+        r
+    }
+}
+
+#[derive(Default)]
+struct Memo {
+    ends: HashMap<(usize, usize), Rc<Vec<usize>>>,
+    prefix: HashMap<(usize, usize), bool>,
+}
+
+/// Atom: an MMIO load at `addr` with any value.
+pub fn ld(addr: u32) -> TracePred {
+    TracePred::atom(&format!("ld@{addr:#x}"), move |e| {
+        e.kind == riscv_spec::MmioEventKind::Load && e.addr == addr
+    })
+}
+
+/// Atom: an MMIO load at `addr` whose value satisfies `f`.
+pub fn ld_if(addr: u32, name: &str, f: impl Fn(u32) -> bool + 'static) -> TracePred {
+    TracePred::atom(&format!("ld@{addr:#x}[{name}]"), move |e| {
+        e.kind == riscv_spec::MmioEventKind::Load && e.addr == addr && f(e.value)
+    })
+}
+
+/// Atom: an MMIO store at `addr` with any value.
+pub fn st(addr: u32) -> TracePred {
+    TracePred::atom(&format!("st@{addr:#x}"), move |e| {
+        e.kind == riscv_spec::MmioEventKind::Store && e.addr == addr
+    })
+}
+
+/// Atom: an MMIO store at `addr` whose value satisfies `f`.
+pub fn st_if(addr: u32, name: &str, f: impl Fn(u32) -> bool + 'static) -> TracePred {
+    TracePred::atom(&format!("st@{addr:#x}[{name}]"), move |e| {
+        e.kind == riscv_spec::MmioEventKind::Store && e.addr == addr && f(e.value)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv_spec::MmioEvent as E;
+
+    fn l(addr: u32, v: u32) -> E {
+        E::load(addr, v)
+    }
+    fn s(addr: u32, v: u32) -> E {
+        E::store(addr, v)
+    }
+
+    #[test]
+    fn atoms_and_concat() {
+        let p = ld(0x10).then(&st(0x20));
+        assert!(p.matches(&[l(0x10, 5), s(0x20, 1)]));
+        assert!(!p.matches(&[l(0x10, 5)]));
+        assert!(!p.matches(&[s(0x20, 1), l(0x10, 5)]));
+        assert!(!p.matches(&[l(0x10, 5), s(0x20, 1), s(0x20, 1)]));
+    }
+
+    #[test]
+    fn union_and_star() {
+        let p = ld(0x10).or(&st(0x20)).star();
+        assert!(p.matches(&[]));
+        assert!(p.matches(&[l(0x10, 1), s(0x20, 2), l(0x10, 3)]));
+        assert!(!p.matches(&[l(0x30, 1)]));
+    }
+
+    #[test]
+    fn value_predicates() {
+        let busy = ld_if(0x48, "busy", |v| v & 0x8000_0000 != 0);
+        assert!(busy.matches(&[l(0x48, 0x8000_0001)]));
+        assert!(!busy.matches(&[l(0x48, 1)]));
+    }
+
+    #[test]
+    fn ex_bool_is_finite_union() {
+        let p = TracePred::ex_bool(|b| st_if(0xC, "bit", move |v| v == b as u32));
+        assert!(p.matches(&[s(0xC, 0)]));
+        assert!(p.matches(&[s(0xC, 1)]));
+        assert!(!p.matches(&[s(0xC, 2)]));
+    }
+
+    #[test]
+    fn prefix_matching() {
+        // (ld a; st b)^*
+        let p = ld(0xA).then(&st(0xB)).star();
+        assert!(p.matches_prefix(&[]));
+        assert!(p.matches_prefix(&[l(0xA, 1)]));
+        assert!(p.matches_prefix(&[l(0xA, 1), s(0xB, 2)]));
+        assert!(p.matches_prefix(&[l(0xA, 1), s(0xB, 2), l(0xA, 3)]));
+        assert!(!p.matches_prefix(&[s(0xB, 2)]));
+        assert!(!p.matches_prefix(&[l(0xA, 1), l(0xA, 2)]));
+    }
+
+    #[test]
+    fn longest_matching_prefix_pinpoints_violations() {
+        let p = ld(0xA).then(&st(0xB)).star();
+        let t = [l(0xA, 1), s(0xB, 1), l(0xA, 2), l(0xFF, 9), s(0xB, 2)];
+        assert_eq!(p.longest_matching_prefix(&t), 3);
+        let good = [l(0xA, 1), s(0xB, 1)];
+        assert_eq!(p.longest_matching_prefix(&good), 2);
+    }
+
+    #[test]
+    fn star_of_eps_terminates() {
+        let p = TracePred::eps().star();
+        assert!(p.matches(&[]));
+        assert!(!p.matches(&[l(1, 1)]));
+        assert!(p.matches_prefix(&[]));
+        assert!(!p.matches_prefix(&[l(1, 1)]));
+    }
+
+    #[test]
+    fn nested_stars_and_unions() {
+        // ((a b)* | c)* — stress the memoization.
+        let ab = ld(0xA).then(&ld(0xB));
+        let p = ab.star().or(&ld(0xC)).star();
+        assert!(p.matches(&[l(0xA, 0), l(0xB, 0), l(0xC, 0), l(0xA, 0), l(0xB, 0)]));
+        assert!(!p.matches(&[l(0xA, 0), l(0xC, 0), l(0xB, 0)]));
+    }
+
+    #[test]
+    fn long_traces_match_quickly() {
+        // 3000 repetitions of a 3-event body: must finish fast thanks to
+        // the length bounds.
+        let body = ld(0x1).then(&ld(0x2)).then(&st(0x3));
+        let p = body.star();
+        let mut t = Vec::new();
+        for i in 0..3000 {
+            t.push(l(0x1, i));
+            t.push(l(0x2, i));
+            t.push(s(0x3, i));
+        }
+        assert!(p.matches(&t));
+        t.push(l(0x1, 0));
+        assert!(p.matches_prefix(&t));
+        assert!(!p.matches(&t));
+    }
+
+    #[test]
+    fn all_and_any_combinators() {
+        let p = TracePred::all([ld(1), ld(2), ld(3)]);
+        assert!(p.matches(&[l(1, 0), l(2, 0), l(3, 0)]));
+        let q = TracePred::any([ld(1), ld(2)]);
+        assert!(q.matches(&[l(2, 0)]));
+        assert!(!q.matches(&[l(3, 0)]));
+    }
+}

@@ -1,0 +1,131 @@
+//! Soundness fuzzing for the prover: whenever [`prove`] answers `Proved`,
+//! the goal must hold under every concrete valuation satisfying the
+//! assumptions. The test samples random terms, assumptions, and
+//! valuations; a single counterexample would demonstrate an unsound
+//! inference (the one failure mode a verification tool must not have —
+//! incompleteness is fine, unsoundness is not).
+
+use bedrock2::ast::BinOp;
+use proglogic::{prove, Formula, Outcome, Term};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const NVARS: u32 = 3;
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (0u32..NVARS).prop_map(|i| Term::var(i, "v")),
+        prop_oneof![
+            Just(0u32),
+            Just(1),
+            Just(4),
+            Just(0xFF),
+            Just(1520),
+            Just(0x8000_0000),
+            Just(u32::MAX),
+            any::<u32>(),
+        ]
+        .prop_map(Term::constant),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (inner.clone(), inner, 0u8..15).prop_map(|(a, b, k)| {
+            let op = BinOp::ALL[k as usize];
+            Term::op(op, &a, &b)
+        })
+    })
+}
+
+fn arb_cmp() -> impl Strategy<Value = Formula> {
+    (arb_term(), arb_term(), 0u8..4).prop_map(|(a, b, k)| match k {
+        0 => Formula::eq(&a, &b),
+        1 => Formula::ne(&a, &b),
+        2 => Formula::ltu(&a, &b),
+        _ => Formula::leu(&a, &b),
+    })
+}
+
+fn eval_term(t: &Term, env: &HashMap<u32, u32>) -> u32 {
+    if let Some(c) = t.as_const() {
+        return c;
+    }
+    if let Some(v) = t.as_var() {
+        return env[&v.id];
+    }
+    let (op, a, b) = t.as_op().expect("term shapes are exhaustive");
+    op.eval(eval_term(a, env), eval_term(b, env))
+}
+
+fn eval_formula(f: &Formula, env: &HashMap<u32, u32>) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Eq(a, b) => eval_term(a, env) == eval_term(b, env),
+        Formula::Ne(a, b) => eval_term(a, env) != eval_term(b, env),
+        Formula::Ltu(a, b) => eval_term(a, env) < eval_term(b, env),
+        Formula::Leu(a, b) => eval_term(a, env) <= eval_term(b, env),
+        Formula::And(a, b) => eval_formula(a, env) && eval_formula(b, env),
+        Formula::Or(a, b) => eval_formula(a, env) || eval_formula(b, env),
+        Formula::Not(a) => !eval_formula(a, env),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Proved goals hold under every satisfying valuation we can sample.
+    #[test]
+    fn proved_goals_are_concretely_true(
+        assumptions in proptest::collection::vec(arb_cmp(), 0..4),
+        goal in arb_cmp(),
+        valuations in proptest::collection::vec(
+            proptest::collection::vec(any::<u32>(), NVARS as usize),
+            1..24,
+        ),
+    ) {
+        if prove(&assumptions, &goal) != Outcome::Proved {
+            return Ok(()); // incompleteness is allowed
+        }
+        for vals in valuations {
+            let env: HashMap<u32, u32> =
+                (0..NVARS).zip(vals.iter().copied()).collect();
+            if assumptions.iter().all(|a| eval_formula(a, &env)) {
+                prop_assert!(
+                    eval_formula(&goal, &env),
+                    "UNSOUND: {goal:?} proved from {assumptions:?} but false at {env:?}"
+                );
+            }
+        }
+    }
+
+    /// Negation is involutive and classical at the evaluation level, so
+    /// proving `¬¬g` must be at least as strong as proving `g` concretely.
+    #[test]
+    fn double_negation_evaluates_identically(
+        goal in arb_cmp(),
+        vals in proptest::collection::vec(any::<u32>(), NVARS as usize),
+    ) {
+        let env: HashMap<u32, u32> = (0..NVARS).zip(vals.iter().copied()).collect();
+        let neg2 = goal.clone().negate().negate();
+        prop_assert_eq!(eval_formula(&goal, &env), eval_formula(&neg2, &env));
+    }
+
+    /// Term simplification preserves meaning.
+    #[test]
+    fn term_simplification_is_sound(
+        a in arb_term(),
+        b in arb_term(),
+        k in 0u8..15,
+        vals in proptest::collection::vec(any::<u32>(), NVARS as usize),
+    ) {
+        let env: HashMap<u32, u32> = (0..NVARS).zip(vals.iter().copied()).collect();
+        let op = BinOp::ALL[k as usize];
+        // Term::op simplifies eagerly; the unsimplified meaning is
+        // op.eval of the operand meanings.
+        let combined = Term::op(op, &a, &b);
+        prop_assert_eq!(
+            eval_term(&combined, &env),
+            op.eval(eval_term(&a, &env), eval_term(&b, &env)),
+            "simplification changed the meaning of {:?} {:?} {:?}", a, op, b
+        );
+    }
+}

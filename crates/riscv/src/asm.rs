@@ -1,0 +1,354 @@
+//! A small assembler: parses the textual syntax [`crate::disasm`] emits.
+//!
+//! `parse_instruction` and [`crate::disassemble`] are exact inverses
+//! (checked by property test), which makes assembly listings a loss-free
+//! interchange format — handy for writing test programs and for diffing
+//! compiler output in reviews.
+
+use crate::isa::{Instruction, Reg};
+use std::fmt;
+
+/// Why a line failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseAsmError> {
+    Err(ParseAsmError {
+        message: message.into(),
+    })
+}
+
+fn parse_reg(s: &str) -> Result<Reg, ParseAsmError> {
+    let Some(rest) = s.strip_prefix('x') else {
+        return err(format!("expected register, got '{s}'"));
+    };
+    match rest.parse::<u8>() {
+        Ok(n) if n < 32 => Ok(Reg::new(n)),
+        _ => err(format!("bad register '{s}'")),
+    }
+}
+
+fn parse_imm(s: &str) -> Result<i64, ParseAsmError> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    };
+    match v {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(format!("bad immediate '{s}'")),
+    }
+}
+
+/// Splits "off(reg)" into its parts.
+fn parse_mem(s: &str) -> Result<(i32, Reg), ParseAsmError> {
+    let Some(open) = s.find('(') else {
+        return err(format!("expected offset(reg), got '{s}'"));
+    };
+    let Some(stripped) = s.ends_with(')').then(|| &s[open + 1..s.len() - 1]) else {
+        return err(format!("missing ')' in '{s}'"));
+    };
+    Ok((parse_imm(&s[..open])? as i32, parse_reg(stripped)?))
+}
+
+/// Parses one instruction in the [`crate::disassemble`] syntax.
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] on unknown mnemonics, malformed operands, or
+/// out-of-range immediates.
+///
+/// # Examples
+///
+/// ```
+/// use riscv_spec::asm::parse_instruction;
+/// use riscv_spec::{disassemble, Instruction, Reg};
+/// let i = parse_instruction("lw x10, 8(x2)").unwrap();
+/// assert_eq!(i, Instruction::Lw { rd: Reg::X10, rs1: Reg::X2, offset: 8 });
+/// assert_eq!(disassemble(&i), "lw x10, 8(x2)");
+/// ```
+pub fn parse_instruction(line: &str) -> Result<Instruction, ParseAsmError> {
+    use Instruction::*;
+    let line = line.trim();
+    let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (line, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        vec![]
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let nops = ops.len();
+    let need = |n: usize| -> Result<(), ParseAsmError> {
+        if nops == n {
+            Ok(())
+        } else {
+            err(format!("'{mnemonic}' expects {n} operands, got {nops}"))
+        }
+    };
+
+    macro_rules! rd_rs1_rs2 {
+        ($ctor:ident) => {{
+            need(3)?;
+            $ctor {
+                rd: parse_reg(ops[0])?,
+                rs1: parse_reg(ops[1])?,
+                rs2: parse_reg(ops[2])?,
+            }
+        }};
+    }
+    macro_rules! rd_rs1_imm {
+        ($ctor:ident) => {{
+            need(3)?;
+            $ctor {
+                rd: parse_reg(ops[0])?,
+                rs1: parse_reg(ops[1])?,
+                imm: parse_imm(ops[2])? as i32,
+            }
+        }};
+    }
+    macro_rules! rd_rs1_shamt {
+        ($ctor:ident) => {{
+            need(3)?;
+            $ctor {
+                rd: parse_reg(ops[0])?,
+                rs1: parse_reg(ops[1])?,
+                shamt: parse_imm(ops[2])? as u32,
+            }
+        }};
+    }
+    macro_rules! branch {
+        ($ctor:ident) => {{
+            need(3)?;
+            $ctor {
+                rs1: parse_reg(ops[0])?,
+                rs2: parse_reg(ops[1])?,
+                offset: parse_imm(ops[2])? as i32,
+            }
+        }};
+    }
+    macro_rules! load {
+        ($ctor:ident) => {{
+            need(2)?;
+            let (offset, rs1) = parse_mem(ops[1])?;
+            $ctor {
+                rd: parse_reg(ops[0])?,
+                rs1,
+                offset,
+            }
+        }};
+    }
+    macro_rules! store {
+        ($ctor:ident) => {{
+            need(2)?;
+            let (offset, rs1) = parse_mem(ops[1])?;
+            $ctor {
+                rs1,
+                rs2: parse_reg(ops[0])?,
+                offset,
+            }
+        }};
+    }
+
+    let inst = match mnemonic {
+        "lui" | "auipc" => {
+            need(2)?;
+            let rd = parse_reg(ops[0])?;
+            let imm20 = parse_imm(ops[1])? as u32;
+            if mnemonic == "lui" {
+                Lui { rd, imm20 }
+            } else {
+                Auipc { rd, imm20 }
+            }
+        }
+        "jal" => {
+            need(2)?;
+            Jal {
+                rd: parse_reg(ops[0])?,
+                offset: parse_imm(ops[1])? as i32,
+            }
+        }
+        "jalr" => {
+            need(2)?;
+            let (offset, rs1) = parse_mem(ops[1])?;
+            Jalr {
+                rd: parse_reg(ops[0])?,
+                rs1,
+                offset,
+            }
+        }
+        "beq" => branch!(Beq),
+        "bne" => branch!(Bne),
+        "blt" => branch!(Blt),
+        "bge" => branch!(Bge),
+        "bltu" => branch!(Bltu),
+        "bgeu" => branch!(Bgeu),
+        "lb" => load!(Lb),
+        "lh" => load!(Lh),
+        "lw" => load!(Lw),
+        "lbu" => load!(Lbu),
+        "lhu" => load!(Lhu),
+        "sb" => store!(Sb),
+        "sh" => store!(Sh),
+        "sw" => store!(Sw),
+        "addi" => rd_rs1_imm!(Addi),
+        "slti" => rd_rs1_imm!(Slti),
+        "sltiu" => rd_rs1_imm!(Sltiu),
+        "xori" => rd_rs1_imm!(Xori),
+        "ori" => rd_rs1_imm!(Ori),
+        "andi" => rd_rs1_imm!(Andi),
+        "slli" => rd_rs1_shamt!(Slli),
+        "srli" => rd_rs1_shamt!(Srli),
+        "srai" => rd_rs1_shamt!(Srai),
+        "add" => rd_rs1_rs2!(Add),
+        "sub" => rd_rs1_rs2!(Sub),
+        "sll" => rd_rs1_rs2!(Sll),
+        "slt" => rd_rs1_rs2!(Slt),
+        "sltu" => rd_rs1_rs2!(Sltu),
+        "xor" => rd_rs1_rs2!(Xor),
+        "srl" => rd_rs1_rs2!(Srl),
+        "sra" => rd_rs1_rs2!(Sra),
+        "or" => rd_rs1_rs2!(Or),
+        "and" => rd_rs1_rs2!(And),
+        "mul" => rd_rs1_rs2!(Mul),
+        "mulh" => rd_rs1_rs2!(Mulh),
+        "mulhsu" => rd_rs1_rs2!(Mulhsu),
+        "mulhu" => rd_rs1_rs2!(Mulhu),
+        "div" => rd_rs1_rs2!(Div),
+        "divu" => rd_rs1_rs2!(Divu),
+        "rem" => rd_rs1_rs2!(Rem),
+        "remu" => rd_rs1_rs2!(Remu),
+        "fence" => {
+            need(0)?;
+            Fence
+        }
+        "fence.i" => {
+            need(0)?;
+            FenceI
+        }
+        "ecall" => {
+            need(0)?;
+            Ecall
+        }
+        "ebreak" => {
+            need(0)?;
+            Ebreak
+        }
+        ".word" => {
+            need(1)?;
+            Invalid {
+                word: parse_imm(ops[0])? as u32,
+            }
+        }
+        other => return err(format!("unknown mnemonic '{other}'")),
+    };
+    Ok(inst)
+}
+
+/// Parses a multi-line program: one instruction per line; blank lines and
+/// `#`/`//` comments are skipped; `label:`-style address markers from
+/// [`crate::disasm::disassemble_program`] listings are tolerated.
+///
+/// # Errors
+///
+/// The first line that fails to parse, with its 1-based line number.
+pub fn parse_program(text: &str) -> Result<Vec<Instruction>, ParseAsmError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let mut line = raw.trim();
+        if let Some(i) = line.find('#') {
+            line = line[..i].trim();
+        }
+        if let Some(i) = line.find("//") {
+            line = line[..i].trim();
+        }
+        // Tolerate "0000001c:" address prefixes and "<name>:" labels.
+        if let Some(colon) = line.find(':') {
+            let (head, tail) = line.split_at(colon);
+            if head.chars().all(|c| c.is_ascii_hexdigit())
+                || (head.starts_with('<') && head.ends_with('>'))
+            {
+                line = tail[1..].trim();
+            }
+        }
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_instruction(line).map_err(|e| ParseAsmError {
+            message: format!("line {}: {}", lineno + 1, e.message),
+        })?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble;
+
+    #[test]
+    fn parses_each_syntax_family() {
+        let cases = [
+            "lui x5, 0x10024",
+            "jal x1, -2048",
+            "jalr x0, 0(x1)",
+            "beq x5, x6, 8",
+            "lw x10, -4(x2)",
+            "sw x10, 8(x2)",
+            "addi x1, x2, -3",
+            "srai x5, x6, 3",
+            "mulhu x5, x6, x7",
+            "fence.i",
+            "ebreak",
+            ".word 0xdeadbeef",
+        ];
+        for c in cases {
+            let i = parse_instruction(c).unwrap_or_else(|e| panic!("{c}: {e}"));
+            assert_eq!(disassemble(&i), c, "{c}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_instruction("frobnicate x1, x2").is_err());
+        assert!(parse_instruction("addi x1, x2").is_err());
+        assert!(parse_instruction("addi x32, x0, 1").is_err());
+        assert!(parse_instruction("lw x1, 4[x2]").is_err());
+        assert!(parse_instruction("addi x1, x0, twelve").is_err());
+    }
+
+    #[test]
+    fn parses_whole_listings_with_addresses_and_comments() {
+        let text = "
+            # a tiny program
+            00000000:  addi x5, x0, 40
+            00000004:  addi x6, x5, 2   // the answer
+            <main>: ebreak
+        ";
+        let prog = parse_program(text).unwrap();
+        assert_eq!(prog.len(), 3);
+        assert_eq!(disassemble(&prog[1]), "addi x6, x5, 2");
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = parse_program("addi x1, x0, 1\nbogus").unwrap_err();
+        assert!(e.message.contains("line 2"), "{e}");
+    }
+}

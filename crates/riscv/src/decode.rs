@@ -1,0 +1,263 @@
+//! Binary instruction decoding.
+//!
+//! The decoder is total: any 32-bit word decodes, with words outside the
+//! implemented RV32IM subset mapping to [`Instruction::Invalid`]. This
+//! mirrors the formal specification's treatment, where fetching an
+//! undecodable word is an error surfaced by the machine model rather than by
+//! the decoder.
+
+use crate::encode::*;
+use crate::isa::{Instruction, Reg};
+use crate::word::sign_extend;
+
+fn rd(word: u32) -> Reg {
+    Reg::new(((word >> 7) & 0x1F) as u8)
+}
+
+fn rs1(word: u32) -> Reg {
+    Reg::new(((word >> 15) & 0x1F) as u8)
+}
+
+fn rs2(word: u32) -> Reg {
+    Reg::new(((word >> 20) & 0x1F) as u8)
+}
+
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+
+fn funct7(word: u32) -> u32 {
+    word >> 25
+}
+
+fn imm_i(word: u32) -> i32 {
+    sign_extend(word >> 20, 12) as i32
+}
+
+fn imm_s(word: u32) -> i32 {
+    sign_extend((word >> 25) << 5 | ((word >> 7) & 0x1F), 12) as i32
+}
+
+fn imm_b(word: u32) -> i32 {
+    let imm = ((word >> 31) & 1) << 12
+        | ((word >> 7) & 1) << 11
+        | ((word >> 25) & 0x3F) << 5
+        | ((word >> 8) & 0xF) << 1;
+    sign_extend(imm, 13) as i32
+}
+
+fn imm_u(word: u32) -> u32 {
+    word >> 12
+}
+
+fn imm_j(word: u32) -> i32 {
+    let imm = ((word >> 31) & 1) << 20
+        | ((word >> 12) & 0xFF) << 12
+        | ((word >> 20) & 1) << 11
+        | ((word >> 21) & 0x3FF) << 1;
+    sign_extend(imm, 21) as i32
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// Returns [`Instruction::Invalid`] for words outside the RV32IM (+
+/// `fence.i`) subset, including all CSR instructions and compressed
+/// encodings.
+///
+/// # Examples
+///
+/// ```
+/// use riscv_spec::{decode, Instruction, Reg};
+/// assert_eq!(
+///     decode(0x0050_0093),
+///     Instruction::Addi { rd: Reg::X1, rs1: Reg::X0, imm: 5 }
+/// );
+/// assert!(matches!(decode(0xFFFF_FFFF), Instruction::Invalid { .. }));
+/// ```
+pub fn decode(word: u32) -> Instruction {
+    use Instruction::*;
+    let invalid = Invalid { word };
+    match word & 0x7F {
+        OPCODE_LUI => Lui {
+            rd: rd(word),
+            imm20: imm_u(word),
+        },
+        OPCODE_AUIPC => Auipc {
+            rd: rd(word),
+            imm20: imm_u(word),
+        },
+        OPCODE_JAL => Jal {
+            rd: rd(word),
+            offset: imm_j(word),
+        },
+        OPCODE_JALR if funct3(word) == 0 => Jalr {
+            rd: rd(word),
+            rs1: rs1(word),
+            offset: imm_i(word),
+        },
+        OPCODE_BRANCH => {
+            let (rs1, rs2, offset) = (rs1(word), rs2(word), imm_b(word));
+            match funct3(word) {
+                0b000 => Beq { rs1, rs2, offset },
+                0b001 => Bne { rs1, rs2, offset },
+                0b100 => Blt { rs1, rs2, offset },
+                0b101 => Bge { rs1, rs2, offset },
+                0b110 => Bltu { rs1, rs2, offset },
+                0b111 => Bgeu { rs1, rs2, offset },
+                _ => invalid,
+            }
+        }
+        OPCODE_LOAD => {
+            let (rd, rs1, offset) = (rd(word), rs1(word), imm_i(word));
+            match funct3(word) {
+                0b000 => Lb { rd, rs1, offset },
+                0b001 => Lh { rd, rs1, offset },
+                0b010 => Lw { rd, rs1, offset },
+                0b100 => Lbu { rd, rs1, offset },
+                0b101 => Lhu { rd, rs1, offset },
+                _ => invalid,
+            }
+        }
+        OPCODE_STORE => {
+            let (rs1, rs2, offset) = (rs1(word), rs2(word), imm_s(word));
+            match funct3(word) {
+                0b000 => Sb { rs1, rs2, offset },
+                0b001 => Sh { rs1, rs2, offset },
+                0b010 => Sw { rs1, rs2, offset },
+                _ => invalid,
+            }
+        }
+        OPCODE_OP_IMM => {
+            let (rd, rs1, imm) = (rd(word), rs1(word), imm_i(word));
+            let shamt = (word >> 20) & 0x1F;
+            match (funct3(word), funct7(word)) {
+                (0b000, _) => Addi { rd, rs1, imm },
+                (0b010, _) => Slti { rd, rs1, imm },
+                (0b011, _) => Sltiu { rd, rs1, imm },
+                (0b100, _) => Xori { rd, rs1, imm },
+                (0b110, _) => Ori { rd, rs1, imm },
+                (0b111, _) => Andi { rd, rs1, imm },
+                (0b001, 0b0000000) => Slli { rd, rs1, shamt },
+                (0b101, 0b0000000) => Srli { rd, rs1, shamt },
+                (0b101, 0b0100000) => Srai { rd, rs1, shamt },
+                _ => invalid,
+            }
+        }
+        OPCODE_OP => {
+            let (rd, rs1, rs2) = (rd(word), rs1(word), rs2(word));
+            match (funct3(word), funct7(word)) {
+                (0b000, 0b0000000) => Add { rd, rs1, rs2 },
+                (0b000, 0b0100000) => Sub { rd, rs1, rs2 },
+                (0b001, 0b0000000) => Sll { rd, rs1, rs2 },
+                (0b010, 0b0000000) => Slt { rd, rs1, rs2 },
+                (0b011, 0b0000000) => Sltu { rd, rs1, rs2 },
+                (0b100, 0b0000000) => Xor { rd, rs1, rs2 },
+                (0b101, 0b0000000) => Srl { rd, rs1, rs2 },
+                (0b101, 0b0100000) => Sra { rd, rs1, rs2 },
+                (0b110, 0b0000000) => Or { rd, rs1, rs2 },
+                (0b111, 0b0000000) => And { rd, rs1, rs2 },
+                (0b000, 0b0000001) => Mul { rd, rs1, rs2 },
+                (0b001, 0b0000001) => Mulh { rd, rs1, rs2 },
+                (0b010, 0b0000001) => Mulhsu { rd, rs1, rs2 },
+                (0b011, 0b0000001) => Mulhu { rd, rs1, rs2 },
+                (0b100, 0b0000001) => Div { rd, rs1, rs2 },
+                (0b101, 0b0000001) => Divu { rd, rs1, rs2 },
+                (0b110, 0b0000001) => Rem { rd, rs1, rs2 },
+                (0b111, 0b0000001) => Remu { rd, rs1, rs2 },
+                _ => invalid,
+            }
+        }
+        OPCODE_MISC_MEM if word == encode_fence() => Fence,
+        OPCODE_MISC_MEM if word == encode_fence_i() => FenceI,
+        OPCODE_SYSTEM if word == 0x0000_0073 => Ecall,
+        OPCODE_SYSTEM if word == 0x0010_0073 => Ebreak,
+        _ => invalid,
+    }
+}
+
+fn encode_fence() -> u32 {
+    crate::encode::encode(&Instruction::Fence)
+}
+
+fn encode_fence_i() -> u32 {
+    crate::encode::encode(&Instruction::FenceI)
+}
+
+/// Decodes a sequence of little-endian bytes into instructions. Trailing
+/// bytes that do not fill a word are ignored.
+pub fn decode_bytes(bytes: &[u8]) -> Vec<Instruction> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| decode(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn decode_known_words() {
+        assert_eq!(
+            decode(0x0000_8067),
+            Instruction::Jalr {
+                rd: Reg::X0,
+                rs1: Reg::X1,
+                offset: 0
+            }
+        );
+        assert_eq!(decode(0x0000_0073), Instruction::Ecall);
+        assert_eq!(decode(0x0010_0073), Instruction::Ebreak);
+    }
+
+    #[test]
+    fn negative_immediates() {
+        // addi x1, x0, -1
+        let i = Instruction::Addi {
+            rd: Reg::X1,
+            rs1: Reg::X0,
+            imm: -1,
+        };
+        assert_eq!(decode(encode(&i)), i);
+        // jal with the most negative offset
+        let j = Instruction::Jal {
+            rd: Reg::X0,
+            offset: -(1 << 20),
+        };
+        assert_eq!(decode(encode(&j)), j);
+        // branch with most negative offset
+        let b = Instruction::Bgeu {
+            rs1: Reg::X5,
+            rs2: Reg::X6,
+            offset: -4096,
+        };
+        assert_eq!(decode(encode(&b)), b);
+    }
+
+    #[test]
+    fn garbage_is_invalid() {
+        assert!(matches!(decode(0), Instruction::Invalid { word: 0 }));
+        assert!(matches!(decode(0xFFFF_FFFF), Instruction::Invalid { .. }));
+        // CSR instruction (csrrw) is outside our subset
+        assert!(matches!(decode(0x3400_9073), Instruction::Invalid { .. }));
+    }
+
+    #[test]
+    fn invalid_reencodes_to_same_word() {
+        let w = 0xDEAD_BEEF;
+        assert_eq!(encode(&decode(w)), w);
+    }
+
+    #[test]
+    fn decode_bytes_chunks() {
+        let nop = encode(&Instruction::NOP);
+        let mut bytes = nop.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&nop.to_le_bytes());
+        bytes.push(0xAA); // trailing partial word ignored
+        assert_eq!(
+            decode_bytes(&bytes),
+            vec![Instruction::NOP, Instruction::NOP]
+        );
+    }
+}

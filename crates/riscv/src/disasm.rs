@@ -1,0 +1,122 @@
+//! Textual disassembly of instructions, in the operand order used by
+//! standard RISC-V assemblers.
+
+use crate::isa::Instruction;
+
+/// Renders one instruction as assembly text.
+///
+/// # Examples
+///
+/// ```
+/// use riscv_spec::{disassemble, Instruction, Reg};
+/// let i = Instruction::Lw { rd: Reg::X10, rs1: Reg::X2, offset: 8 };
+/// assert_eq!(disassemble(&i), "lw x10, 8(x2)");
+/// ```
+pub fn disassemble(inst: &Instruction) -> String {
+    use Instruction::*;
+    let m = inst.mnemonic();
+    match *inst {
+        Lui { rd, imm20 } | Auipc { rd, imm20 } => format!("{m} {rd}, 0x{imm20:x}"),
+        Jal { rd, offset } => format!("{m} {rd}, {offset}"),
+        Jalr { rd, rs1, offset } => format!("{m} {rd}, {offset}({rs1})"),
+        Beq { rs1, rs2, offset }
+        | Bne { rs1, rs2, offset }
+        | Blt { rs1, rs2, offset }
+        | Bge { rs1, rs2, offset }
+        | Bltu { rs1, rs2, offset }
+        | Bgeu { rs1, rs2, offset } => format!("{m} {rs1}, {rs2}, {offset}"),
+        Lb { rd, rs1, offset }
+        | Lh { rd, rs1, offset }
+        | Lw { rd, rs1, offset }
+        | Lbu { rd, rs1, offset }
+        | Lhu { rd, rs1, offset } => format!("{m} {rd}, {offset}({rs1})"),
+        Sb { rs1, rs2, offset } | Sh { rs1, rs2, offset } | Sw { rs1, rs2, offset } => {
+            format!("{m} {rs2}, {offset}({rs1})")
+        }
+        Addi { rd, rs1, imm }
+        | Slti { rd, rs1, imm }
+        | Sltiu { rd, rs1, imm }
+        | Xori { rd, rs1, imm }
+        | Ori { rd, rs1, imm }
+        | Andi { rd, rs1, imm } => format!("{m} {rd}, {rs1}, {imm}"),
+        Slli { rd, rs1, shamt } | Srli { rd, rs1, shamt } | Srai { rd, rs1, shamt } => {
+            format!("{m} {rd}, {rs1}, {shamt}")
+        }
+        Add { rd, rs1, rs2 }
+        | Sub { rd, rs1, rs2 }
+        | Sll { rd, rs1, rs2 }
+        | Slt { rd, rs1, rs2 }
+        | Sltu { rd, rs1, rs2 }
+        | Xor { rd, rs1, rs2 }
+        | Srl { rd, rs1, rs2 }
+        | Sra { rd, rs1, rs2 }
+        | Or { rd, rs1, rs2 }
+        | And { rd, rs1, rs2 }
+        | Mul { rd, rs1, rs2 }
+        | Mulh { rd, rs1, rs2 }
+        | Mulhsu { rd, rs1, rs2 }
+        | Mulhu { rd, rs1, rs2 }
+        | Div { rd, rs1, rs2 }
+        | Divu { rd, rs1, rs2 }
+        | Rem { rd, rs1, rs2 }
+        | Remu { rd, rs1, rs2 } => format!("{m} {rd}, {rs1}, {rs2}"),
+        Fence | FenceI | Ecall | Ebreak => m.to_string(),
+        Invalid { word } => format!(".word 0x{word:08x}"),
+    }
+}
+
+/// Disassembles a whole program with addresses, one instruction per line,
+/// starting at `base`. Useful for debugging compiler output.
+pub fn disassemble_program(base: u32, insts: &[Instruction]) -> String {
+    let mut out = String::new();
+    for (i, inst) in insts.iter().enumerate() {
+        let addr = base.wrapping_add((i * 4) as u32);
+        out.push_str(&format!("{addr:08x}:  {}\n", disassemble(inst)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+
+    #[test]
+    fn formats() {
+        assert_eq!(
+            disassemble(&Instruction::Addi {
+                rd: Reg::X1,
+                rs1: Reg::X2,
+                imm: -3
+            }),
+            "addi x1, x2, -3"
+        );
+        assert_eq!(
+            disassemble(&Instruction::Sw {
+                rs1: Reg::X2,
+                rs2: Reg::X10,
+                offset: 8
+            }),
+            "sw x10, 8(x2)"
+        );
+        assert_eq!(
+            disassemble(&Instruction::Lui {
+                rd: Reg::X5,
+                imm20: 0x10024
+            }),
+            "lui x5, 0x10024"
+        );
+        assert_eq!(disassemble(&Instruction::Ecall), "ecall");
+        assert_eq!(
+            disassemble(&Instruction::Invalid { word: 0xDEAD }),
+            ".word 0x0000dead"
+        );
+    }
+
+    #[test]
+    fn program_listing_has_addresses() {
+        let listing = disassemble_program(0x100, &[Instruction::NOP, Instruction::Fence]);
+        assert!(listing.contains("00000100:  addi x0, x0, 0"));
+        assert!(listing.contains("00000104:  fence"));
+    }
+}

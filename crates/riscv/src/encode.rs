@@ -1,0 +1,323 @@
+//! Binary instruction encoding, as specified by the RISC-V unprivileged ISA.
+//!
+//! [`encode`] and [`crate::decode::decode`] are exact inverses on every value
+//! an assembler could produce; this is checked by a property test in
+//! `tests/roundtrip.rs` of this crate.
+
+use crate::isa::{Instruction, Reg};
+
+pub(crate) const OPCODE_LUI: u32 = 0b0110111;
+pub(crate) const OPCODE_AUIPC: u32 = 0b0010111;
+pub(crate) const OPCODE_JAL: u32 = 0b1101111;
+pub(crate) const OPCODE_JALR: u32 = 0b1100111;
+pub(crate) const OPCODE_BRANCH: u32 = 0b1100011;
+pub(crate) const OPCODE_LOAD: u32 = 0b0000011;
+pub(crate) const OPCODE_STORE: u32 = 0b0100011;
+pub(crate) const OPCODE_OP_IMM: u32 = 0b0010011;
+pub(crate) const OPCODE_OP: u32 = 0b0110011;
+pub(crate) const OPCODE_MISC_MEM: u32 = 0b0001111;
+pub(crate) const OPCODE_SYSTEM: u32 = 0b1110011;
+
+fn assert_i_imm(imm: i32) {
+    assert!(
+        (-2048..=2047).contains(&imm),
+        "I-type immediate out of range: {imm}"
+    );
+}
+
+fn r_type(funct7: u32, rs2: Reg, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    funct7 << 25
+        | (rs2.index() as u32) << 20
+        | (rs1.index() as u32) << 15
+        | funct3 << 12
+        | (rd.index() as u32) << 7
+        | opcode
+}
+
+fn i_type(imm: i32, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    assert_i_imm(imm);
+    ((imm as u32) & 0xFFF) << 20
+        | (rs1.index() as u32) << 15
+        | funct3 << 12
+        | (rd.index() as u32) << 7
+        | opcode
+}
+
+fn s_type(imm: i32, rs2: Reg, rs1: Reg, funct3: u32, opcode: u32) -> u32 {
+    assert_i_imm(imm);
+    let imm = imm as u32;
+    ((imm >> 5) & 0x7F) << 25
+        | (rs2.index() as u32) << 20
+        | (rs1.index() as u32) << 15
+        | funct3 << 12
+        | (imm & 0x1F) << 7
+        | opcode
+}
+
+fn b_type(offset: i32, rs2: Reg, rs1: Reg, funct3: u32, opcode: u32) -> u32 {
+    assert!(
+        (-4096..=4094).contains(&offset) && offset % 2 == 0,
+        "branch offset out of range or odd: {offset}"
+    );
+    let imm = offset as u32;
+    ((imm >> 12) & 1) << 31
+        | ((imm >> 5) & 0x3F) << 25
+        | (rs2.index() as u32) << 20
+        | (rs1.index() as u32) << 15
+        | funct3 << 12
+        | ((imm >> 1) & 0xF) << 8
+        | ((imm >> 11) & 1) << 7
+        | opcode
+}
+
+fn u_type(imm20: u32, rd: Reg, opcode: u32) -> u32 {
+    assert!(imm20 < (1 << 20), "U-type immediate out of range: {imm20}");
+    imm20 << 12 | (rd.index() as u32) << 7 | opcode
+}
+
+fn j_type(offset: i32, rd: Reg, opcode: u32) -> u32 {
+    assert!(
+        (-(1 << 20)..(1 << 20)).contains(&offset) && offset % 2 == 0,
+        "jal offset out of range or odd: {offset}"
+    );
+    let imm = offset as u32;
+    ((imm >> 20) & 1) << 31
+        | ((imm >> 1) & 0x3FF) << 21
+        | ((imm >> 11) & 1) << 20
+        | ((imm >> 12) & 0xFF) << 12
+        | (rd.index() as u32) << 7
+        | opcode
+}
+
+fn shift_type(funct7: u32, shamt: u32, rs1: Reg, funct3: u32, rd: Reg) -> u32 {
+    assert!(shamt < 32, "shift amount out of range: {shamt}");
+    funct7 << 25
+        | shamt << 20
+        | (rs1.index() as u32) << 15
+        | funct3 << 12
+        | (rd.index() as u32) << 7
+        | OPCODE_OP_IMM
+}
+
+/// Encodes an instruction to its 32-bit binary representation.
+///
+/// [`Instruction::Invalid`] encodes back to the word it was decoded from, so
+/// encode∘decode is the identity on arbitrary words as well.
+///
+/// # Panics
+///
+/// Panics if an immediate, offset, or shift amount is out of range for its
+/// encoding (e.g. a branch offset that does not fit in 13 signed bits or is
+/// odd). The compiler's layout phase guarantees in-range values; hand-built
+/// instructions should be validated by the caller.
+///
+/// # Examples
+///
+/// ```
+/// use riscv_spec::{encode, Instruction, Reg};
+/// let i = Instruction::Addi { rd: Reg::X1, rs1: Reg::X0, imm: 5 };
+/// assert_eq!(encode(&i), 0x0050_0093);
+/// ```
+pub fn encode(inst: &Instruction) -> u32 {
+    use Instruction::*;
+    match *inst {
+        Lui { rd, imm20 } => u_type(imm20, rd, OPCODE_LUI),
+        Auipc { rd, imm20 } => u_type(imm20, rd, OPCODE_AUIPC),
+        Jal { rd, offset } => j_type(offset, rd, OPCODE_JAL),
+        Jalr { rd, rs1, offset } => i_type(offset, rs1, 0b000, rd, OPCODE_JALR),
+        Beq { rs1, rs2, offset } => b_type(offset, rs2, rs1, 0b000, OPCODE_BRANCH),
+        Bne { rs1, rs2, offset } => b_type(offset, rs2, rs1, 0b001, OPCODE_BRANCH),
+        Blt { rs1, rs2, offset } => b_type(offset, rs2, rs1, 0b100, OPCODE_BRANCH),
+        Bge { rs1, rs2, offset } => b_type(offset, rs2, rs1, 0b101, OPCODE_BRANCH),
+        Bltu { rs1, rs2, offset } => b_type(offset, rs2, rs1, 0b110, OPCODE_BRANCH),
+        Bgeu { rs1, rs2, offset } => b_type(offset, rs2, rs1, 0b111, OPCODE_BRANCH),
+        Lb { rd, rs1, offset } => i_type(offset, rs1, 0b000, rd, OPCODE_LOAD),
+        Lh { rd, rs1, offset } => i_type(offset, rs1, 0b001, rd, OPCODE_LOAD),
+        Lw { rd, rs1, offset } => i_type(offset, rs1, 0b010, rd, OPCODE_LOAD),
+        Lbu { rd, rs1, offset } => i_type(offset, rs1, 0b100, rd, OPCODE_LOAD),
+        Lhu { rd, rs1, offset } => i_type(offset, rs1, 0b101, rd, OPCODE_LOAD),
+        Sb { rs1, rs2, offset } => s_type(offset, rs2, rs1, 0b000, OPCODE_STORE),
+        Sh { rs1, rs2, offset } => s_type(offset, rs2, rs1, 0b001, OPCODE_STORE),
+        Sw { rs1, rs2, offset } => s_type(offset, rs2, rs1, 0b010, OPCODE_STORE),
+        Addi { rd, rs1, imm } => i_type(imm, rs1, 0b000, rd, OPCODE_OP_IMM),
+        Slti { rd, rs1, imm } => i_type(imm, rs1, 0b010, rd, OPCODE_OP_IMM),
+        Sltiu { rd, rs1, imm } => i_type(imm, rs1, 0b011, rd, OPCODE_OP_IMM),
+        Xori { rd, rs1, imm } => i_type(imm, rs1, 0b100, rd, OPCODE_OP_IMM),
+        Ori { rd, rs1, imm } => i_type(imm, rs1, 0b110, rd, OPCODE_OP_IMM),
+        Andi { rd, rs1, imm } => i_type(imm, rs1, 0b111, rd, OPCODE_OP_IMM),
+        Slli { rd, rs1, shamt } => shift_type(0b0000000, shamt, rs1, 0b001, rd),
+        Srli { rd, rs1, shamt } => shift_type(0b0000000, shamt, rs1, 0b101, rd),
+        Srai { rd, rs1, shamt } => shift_type(0b0100000, shamt, rs1, 0b101, rd),
+        Add { rd, rs1, rs2 } => r_type(0b0000000, rs2, rs1, 0b000, rd, OPCODE_OP),
+        Sub { rd, rs1, rs2 } => r_type(0b0100000, rs2, rs1, 0b000, rd, OPCODE_OP),
+        Sll { rd, rs1, rs2 } => r_type(0b0000000, rs2, rs1, 0b001, rd, OPCODE_OP),
+        Slt { rd, rs1, rs2 } => r_type(0b0000000, rs2, rs1, 0b010, rd, OPCODE_OP),
+        Sltu { rd, rs1, rs2 } => r_type(0b0000000, rs2, rs1, 0b011, rd, OPCODE_OP),
+        Xor { rd, rs1, rs2 } => r_type(0b0000000, rs2, rs1, 0b100, rd, OPCODE_OP),
+        Srl { rd, rs1, rs2 } => r_type(0b0000000, rs2, rs1, 0b101, rd, OPCODE_OP),
+        Sra { rd, rs1, rs2 } => r_type(0b0100000, rs2, rs1, 0b101, rd, OPCODE_OP),
+        Or { rd, rs1, rs2 } => r_type(0b0000000, rs2, rs1, 0b110, rd, OPCODE_OP),
+        And { rd, rs1, rs2 } => r_type(0b0000000, rs2, rs1, 0b111, rd, OPCODE_OP),
+        Mul { rd, rs1, rs2 } => r_type(0b0000001, rs2, rs1, 0b000, rd, OPCODE_OP),
+        Mulh { rd, rs1, rs2 } => r_type(0b0000001, rs2, rs1, 0b001, rd, OPCODE_OP),
+        Mulhsu { rd, rs1, rs2 } => r_type(0b0000001, rs2, rs1, 0b010, rd, OPCODE_OP),
+        Mulhu { rd, rs1, rs2 } => r_type(0b0000001, rs2, rs1, 0b011, rd, OPCODE_OP),
+        Div { rd, rs1, rs2 } => r_type(0b0000001, rs2, rs1, 0b100, rd, OPCODE_OP),
+        Divu { rd, rs1, rs2 } => r_type(0b0000001, rs2, rs1, 0b101, rd, OPCODE_OP),
+        Rem { rd, rs1, rs2 } => r_type(0b0000001, rs2, rs1, 0b110, rd, OPCODE_OP),
+        Remu { rd, rs1, rs2 } => r_type(0b0000001, rs2, rs1, 0b111, rd, OPCODE_OP),
+        Fence => i_type(0, Reg::X0, 0b000, Reg::X0, OPCODE_MISC_MEM),
+        FenceI => i_type(0, Reg::X0, 0b001, Reg::X0, OPCODE_MISC_MEM),
+        Ecall => i_type(0, Reg::X0, 0b000, Reg::X0, OPCODE_SYSTEM),
+        Ebreak => i_type(1, Reg::X0, 0b000, Reg::X0, OPCODE_SYSTEM),
+        Invalid { word } => word,
+    }
+}
+
+/// Encodes a sequence of instructions to little-endian bytes, the format in
+/// which program images are placed into memory (the paper's `instrencode`).
+pub fn encode_to_bytes(insts: &[Instruction]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(insts.len() * 4);
+    for i in insts {
+        out.extend_from_slice(&encode(i).to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instruction, Reg};
+
+    // Golden encodings cross-checked against the RISC-V specification and
+    // binutils `as` output.
+    #[test]
+    fn golden_words() {
+        let cases: &[(Instruction, u32)] = &[
+            (
+                Instruction::Addi {
+                    rd: Reg::X1,
+                    rs1: Reg::X0,
+                    imm: 5,
+                },
+                0x0050_0093,
+            ),
+            (
+                Instruction::Lui {
+                    rd: Reg::X5,
+                    imm20: 0x12345,
+                },
+                0x1234_52B7,
+            ),
+            (
+                Instruction::Jal {
+                    rd: Reg::X1,
+                    offset: 0x10,
+                },
+                0x0100_00EF,
+            ),
+            (
+                Instruction::Jalr {
+                    rd: Reg::X0,
+                    rs1: Reg::X1,
+                    offset: 0,
+                },
+                0x0000_8067, // ret
+            ),
+            (
+                Instruction::Beq {
+                    rs1: Reg::X5,
+                    rs2: Reg::X6,
+                    offset: -4,
+                },
+                0xFE62_8EE3,
+            ),
+            (
+                Instruction::Lw {
+                    rd: Reg::X10,
+                    rs1: Reg::X2,
+                    offset: 8,
+                },
+                0x0081_2503,
+            ),
+            (
+                Instruction::Sw {
+                    rs1: Reg::X2,
+                    rs2: Reg::X10,
+                    offset: 8,
+                },
+                0x00A1_2423,
+            ),
+            (
+                Instruction::Add {
+                    rd: Reg::X5,
+                    rs1: Reg::X6,
+                    rs2: Reg::X7,
+                },
+                0x0073_02B3,
+            ),
+            (
+                Instruction::Mul {
+                    rd: Reg::X5,
+                    rs1: Reg::X6,
+                    rs2: Reg::X7,
+                },
+                0x0273_02B3,
+            ),
+            (
+                Instruction::Srai {
+                    rd: Reg::X5,
+                    rs1: Reg::X6,
+                    shamt: 3,
+                },
+                0x4033_5293,
+            ),
+            (Instruction::Ecall, 0x0000_0073),
+            (Instruction::Ebreak, 0x0010_0073),
+        ];
+        for (inst, word) in cases {
+            assert_eq!(encode(inst), *word, "encoding of {inst:?}");
+        }
+    }
+
+    #[test]
+    fn negative_offsets_wrap_correctly() {
+        let i = Instruction::Sw {
+            rs1: Reg::X2,
+            rs2: Reg::X1,
+            offset: -4,
+        };
+        let w = encode(&i);
+        assert_eq!(crate::decode::decode(w), i);
+    }
+
+    #[test]
+    #[should_panic(expected = "I-type immediate out of range")]
+    fn immediate_range_checked() {
+        encode(&Instruction::Addi {
+            rd: Reg::X1,
+            rs1: Reg::X0,
+            imm: 4096,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "branch offset out of range or odd")]
+    fn odd_branch_offset_rejected() {
+        encode(&Instruction::Beq {
+            rs1: Reg::X0,
+            rs2: Reg::X0,
+            offset: 3,
+        });
+    }
+
+    #[test]
+    fn bytes_are_little_endian() {
+        let b = encode_to_bytes(&[Instruction::Addi {
+            rd: Reg::X1,
+            rs1: Reg::X0,
+            imm: 5,
+        }]);
+        assert_eq!(b, vec![0x93, 0x00, 0x50, 0x00]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Instruction semantics, written once over [`Primitives`].
+//!
+//! This module is deliberately the *only* place in the workspace where the
+//! meaning of each RV32IM instruction is spelled out for the software side;
+//! the hardware models use the shared combinational functions in the
+//! `processor` crate, and the integration tests check the two against each
+//! other. That mirrors the paper's structure, where the compiler's RISC-V
+//! specification and the Kami processor's are reconciled by proof (§5.8).
+
+use crate::isa::Instruction;
+use crate::mmio::AccessSize;
+use crate::primitives::{Primitives, Trap};
+use crate::word;
+
+/// Executes one already-fetched, already-decoded instruction against a
+/// machine exposing [`Primitives`].
+///
+/// The default next-pc (pc+4) is assumed to have been set by the machine's
+/// step function; `execute` overrides it only for taken control flow.
+///
+/// # Errors
+///
+/// Propagates errors from the machine's `load`, `store`, and `trap`
+/// primitives; `execute` itself introduces no other failure modes.
+pub fn execute<P: Primitives>(p: &mut P, inst: &Instruction) -> Result<(), P::Error> {
+    use Instruction::*;
+    let pc = p.pc();
+    match *inst {
+        Lui { rd, imm20 } => p.set_register(rd, imm20 << 12),
+        Auipc { rd, imm20 } => p.set_register(rd, pc.wrapping_add(imm20 << 12)),
+        Jal { rd, offset } => {
+            let target = pc.wrapping_add(offset as u32);
+            if !word::is_aligned(target, 4) {
+                return p.trap(Trap::MisalignedJump { target });
+            }
+            p.set_register(rd, pc.wrapping_add(4));
+            p.set_next_pc(target);
+        }
+        Jalr { rd, rs1, offset } => {
+            // Per the ISA, the low bit of the computed target is cleared.
+            let target = p.get_register(rs1).wrapping_add(offset as u32) & !1;
+            if !word::is_aligned(target, 4) {
+                return p.trap(Trap::MisalignedJump { target });
+            }
+            p.set_register(rd, pc.wrapping_add(4));
+            p.set_next_pc(target);
+        }
+        Beq { rs1, rs2, offset } => branch(p, pc, offset, |a, b| a == b, rs1, rs2)?,
+        Bne { rs1, rs2, offset } => branch(p, pc, offset, |a, b| a != b, rs1, rs2)?,
+        Blt { rs1, rs2, offset } => branch(p, pc, offset, word::lts, rs1, rs2)?,
+        Bge { rs1, rs2, offset } => branch(p, pc, offset, |a, b| !word::lts(a, b), rs1, rs2)?,
+        Bltu { rs1, rs2, offset } => branch(p, pc, offset, word::ltu, rs1, rs2)?,
+        Bgeu { rs1, rs2, offset } => branch(p, pc, offset, |a, b| !word::ltu(a, b), rs1, rs2)?,
+        Lb { rd, rs1, offset } => {
+            let v = load(p, AccessSize::Byte, rs1, offset)?;
+            p.set_register(rd, word::sext8(v));
+        }
+        Lh { rd, rs1, offset } => {
+            let v = load(p, AccessSize::Half, rs1, offset)?;
+            p.set_register(rd, word::sext16(v));
+        }
+        Lw { rd, rs1, offset } => {
+            let v = load(p, AccessSize::Word, rs1, offset)?;
+            p.set_register(rd, v);
+        }
+        Lbu { rd, rs1, offset } => {
+            let v = load(p, AccessSize::Byte, rs1, offset)?;
+            p.set_register(rd, v & 0xFF);
+        }
+        Lhu { rd, rs1, offset } => {
+            let v = load(p, AccessSize::Half, rs1, offset)?;
+            p.set_register(rd, v & 0xFFFF);
+        }
+        Sb { rs1, rs2, offset } => store(p, AccessSize::Byte, rs1, rs2, offset)?,
+        Sh { rs1, rs2, offset } => store(p, AccessSize::Half, rs1, rs2, offset)?,
+        Sw { rs1, rs2, offset } => store(p, AccessSize::Word, rs1, rs2, offset)?,
+        Addi { rd, rs1, imm } => alu_imm(p, rd, rs1, imm, |a, b| a.wrapping_add(b)),
+        Slti { rd, rs1, imm } => alu_imm(p, rd, rs1, imm, |a, b| word::lts(a, b) as u32),
+        Sltiu { rd, rs1, imm } => alu_imm(p, rd, rs1, imm, |a, b| word::ltu(a, b) as u32),
+        Xori { rd, rs1, imm } => alu_imm(p, rd, rs1, imm, |a, b| a ^ b),
+        Ori { rd, rs1, imm } => alu_imm(p, rd, rs1, imm, |a, b| a | b),
+        Andi { rd, rs1, imm } => alu_imm(p, rd, rs1, imm, |a, b| a & b),
+        Slli { rd, rs1, shamt } => {
+            let v = word::sll(p.get_register(rs1), shamt);
+            p.set_register(rd, v);
+        }
+        Srli { rd, rs1, shamt } => {
+            let v = word::srl(p.get_register(rs1), shamt);
+            p.set_register(rd, v);
+        }
+        Srai { rd, rs1, shamt } => {
+            let v = word::sra(p.get_register(rs1), shamt);
+            p.set_register(rd, v);
+        }
+        Add { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, |a, b| a.wrapping_add(b)),
+        Sub { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, |a, b| a.wrapping_sub(b)),
+        Sll { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, word::sll),
+        Slt { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, |a, b| word::lts(a, b) as u32),
+        Sltu { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, |a, b| word::ltu(a, b) as u32),
+        Xor { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, |a, b| a ^ b),
+        Srl { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, word::srl),
+        Sra { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, word::sra),
+        Or { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, |a, b| a | b),
+        And { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, |a, b| a & b),
+        Mul { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, |a, b| a.wrapping_mul(b)),
+        Mulh { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, word::mulh),
+        Mulhsu { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, word::mulhsu),
+        Mulhu { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, word::mulhu),
+        Div { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, word::div),
+        Divu { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, word::divu),
+        Rem { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, word::rem),
+        Remu { rd, rs1, rs2 } => alu(p, rd, rs1, rs2, word::remu),
+        Fence => p.fence(),
+        FenceI => p.fence_i(),
+        Ecall => return p.trap(Trap::EnvironmentCall),
+        Ebreak => return p.trap(Trap::Breakpoint),
+        Invalid { word } => return p.trap(Trap::IllegalInstruction { word }),
+    }
+    Ok(())
+}
+
+fn branch<P: Primitives>(
+    p: &mut P,
+    pc: u32,
+    offset: i32,
+    cond: impl Fn(u32, u32) -> bool,
+    rs1: crate::isa::Reg,
+    rs2: crate::isa::Reg,
+) -> Result<(), P::Error> {
+    let a = p.get_register(rs1);
+    let b = p.get_register(rs2);
+    if cond(a, b) {
+        let target = pc.wrapping_add(offset as u32);
+        if !word::is_aligned(target, 4) {
+            return p.trap(Trap::MisalignedJump { target });
+        }
+        p.set_next_pc(target);
+    }
+    Ok(())
+}
+
+fn load<P: Primitives>(
+    p: &mut P,
+    size: AccessSize,
+    rs1: crate::isa::Reg,
+    offset: i32,
+) -> Result<u32, P::Error> {
+    let addr = p.get_register(rs1).wrapping_add(offset as u32);
+    p.load(size, addr)
+}
+
+fn store<P: Primitives>(
+    p: &mut P,
+    size: AccessSize,
+    rs1: crate::isa::Reg,
+    rs2: crate::isa::Reg,
+    offset: i32,
+) -> Result<(), P::Error> {
+    let addr = p.get_register(rs1).wrapping_add(offset as u32);
+    let value = p.get_register(rs2);
+    p.store(size, addr, value)
+}
+
+fn alu_imm<P: Primitives>(
+    p: &mut P,
+    rd: crate::isa::Reg,
+    rs1: crate::isa::Reg,
+    imm: i32,
+    f: impl Fn(u32, u32) -> u32,
+) {
+    let v = f(p.get_register(rs1), imm as u32);
+    p.set_register(rd, v);
+}
+
+fn alu<P: Primitives>(
+    p: &mut P,
+    rd: crate::isa::Reg,
+    rs1: crate::isa::Reg,
+    rs2: crate::isa::Reg,
+    f: impl Fn(u32, u32) -> u32,
+) {
+    let v = f(p.get_register(rs1), p.get_register(rs2));
+    p.set_register(rd, v);
+}

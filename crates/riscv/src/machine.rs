@@ -1,0 +1,685 @@
+//! The software-oriented specification machine (`swstep` of §5.8).
+//!
+//! [`SpecMachine`] is the machine model the compiler is checked against. It
+//! is strict about everything the software contract is strict about:
+//!
+//! * fetching from outside RAM, from a misaligned pc, or from an address
+//!   whose executability was revoked by a store (XAddrs, §5.6) is an error;
+//! * misaligned data accesses are errors;
+//! * loads/stores outside RAM go to the [`MmioHandler`] if it claims the
+//!   address (word-sized, word-aligned only — `isMMIOAligned` of §6.2) and
+//!   are recorded in [`SpecMachine::trace`]; otherwise they are errors.
+//!
+//! "Error" here is the executable stand-in for the paper's undefined
+//! behavior: a verified stack must never reach one, and the differential
+//! tests treat any occurrence as a failed run.
+
+use crate::decode::decode;
+use crate::execute::execute;
+use crate::isa::{Instruction, Reg};
+use crate::mem::Memory;
+use crate::mmio::{AccessSize, MmioEvent, MmioHandler};
+use crate::primitives::{Primitives, Trap};
+use crate::word;
+use crate::xaddrs::XAddrs;
+use std::fmt;
+
+/// Undefined behavior and traps, made explicit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// pc left RAM.
+    FetchOutOfRange {
+        /// The pc that could not be fetched.
+        addr: u32,
+    },
+    /// pc not 4-byte aligned.
+    FetchMisaligned {
+        /// The misaligned pc.
+        addr: u32,
+    },
+    /// pc points at bytes whose executability was revoked by a store and
+    /// not restored by `fence.i` (§5.6).
+    FetchNonExecutable {
+        /// The stale pc.
+        addr: u32,
+    },
+    /// The fetched word does not decode.
+    IllegalInstruction {
+        /// pc of the undecodable word.
+        addr: u32,
+        /// The undecodable word.
+        word: u32,
+    },
+    /// A jump/branch targeted a misaligned address.
+    MisalignedJump {
+        /// pc of the jump.
+        addr: u32,
+        /// The misaligned target.
+        target: u32,
+    },
+    /// A data access was not aligned to its own width.
+    MisalignedAccess {
+        /// The misaligned data address.
+        addr: u32,
+        /// The access width.
+        size: AccessSize,
+    },
+    /// A data access fell outside RAM and was not claimed by the MMIO
+    /// handler.
+    AccessFault {
+        /// The faulting data address.
+        addr: u32,
+        /// The access width.
+        size: AccessSize,
+    },
+    /// An MMIO access was not word-sized and word-aligned.
+    MmioMisaligned {
+        /// The faulting MMIO address.
+        addr: u32,
+        /// The access width.
+        size: AccessSize,
+    },
+    /// `ecall` executed (no execution environment exists).
+    EnvironmentCall {
+        /// pc of the `ecall`.
+        addr: u32,
+    },
+    /// `ebreak` executed (also the halt convention of test harnesses).
+    Breakpoint {
+        /// pc of the `ebreak`.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use MachineError::*;
+        match *self {
+            FetchOutOfRange { addr } => write!(f, "instruction fetch outside RAM at 0x{addr:08x}"),
+            FetchMisaligned { addr } => write!(f, "misaligned instruction fetch at 0x{addr:08x}"),
+            FetchNonExecutable { addr } => {
+                write!(f, "fetch from non-executable (stale) address 0x{addr:08x}")
+            }
+            IllegalInstruction { addr, word } => {
+                write!(f, "illegal instruction 0x{word:08x} at 0x{addr:08x}")
+            }
+            MisalignedJump { addr, target } => {
+                write!(f, "misaligned jump from 0x{addr:08x} to 0x{target:08x}")
+            }
+            MisalignedAccess { addr, size } => {
+                write!(f, "misaligned {}-byte access at 0x{addr:08x}", size.bytes())
+            }
+            AccessFault { addr, size } => {
+                write!(f, "{}-byte access fault at 0x{addr:08x}", size.bytes())
+            }
+            MmioMisaligned { addr, size } => {
+                write!(
+                    f,
+                    "non-word MMIO access ({} bytes) at 0x{addr:08x}",
+                    size.bytes()
+                )
+            }
+            EnvironmentCall { addr } => write!(f, "ecall at 0x{addr:08x}"),
+            Breakpoint { addr } => write!(f, "ebreak at 0x{addr:08x}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Result of running with bounded fuel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The program reached `ebreak` (the harness halt convention) after
+    /// executing this many instructions (not counting the `ebreak`).
+    Halted {
+        /// Retired instruction count.
+        steps: u64,
+    },
+    /// Fuel ran out with the program still executing.
+    OutOfFuel,
+}
+
+/// The specification machine: registers, pc, RAM, XAddrs, MMIO, and the I/O
+/// trace.
+#[derive(Clone, Debug)]
+pub struct SpecMachine<M> {
+    /// The 32 integer registers; index 0 is forced to zero on read.
+    pub regs: [u32; 32],
+    /// Address of the instruction about to execute.
+    pub pc: u32,
+    next_pc: u32,
+    /// RAM, based at address 0.
+    pub mem: Memory,
+    /// Executable-address set (§5.6).
+    pub xaddrs: XAddrs,
+    /// The external-interaction parameter (§6.2).
+    pub mmio: M,
+    /// Every MMIO interaction so far, oldest first.
+    pub trace: Vec<MmioEvent>,
+    /// Retired instruction count.
+    pub instret: u64,
+}
+
+impl<M: MmioHandler> SpecMachine<M> {
+    /// Creates a machine with the given RAM and MMIO handler; pc = 0, all
+    /// registers zero, all of RAM executable (the boot state of §5.6).
+    pub fn new(mem: Memory, mmio: M) -> SpecMachine<M> {
+        let len = mem.size();
+        SpecMachine {
+            regs: [0; 32],
+            pc: 0,
+            next_pc: 0,
+            mem,
+            xaddrs: XAddrs::all(len),
+            mmio,
+            trace: Vec::new(),
+            instret: 0,
+        }
+    }
+
+    /// Reads a register (`x0` reads as zero).
+    pub fn reg(&self, r: Reg) -> u32 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index() as usize]
+        }
+    }
+
+    /// Writes a register (writes to `x0` are discarded).
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        if !r.is_zero() {
+            self.regs[r.index() as usize] = v;
+        }
+    }
+
+    /// Places encoded instruction words into RAM at `addr` without revoking
+    /// executability (this models initializing the memory image before
+    /// reset, the paper's `bytes_at (instrencode …) 0 mem0` precondition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the words do not fit in RAM.
+    pub fn load_program(&mut self, addr: u32, words: &[u32]) {
+        for (i, w) in words.iter().enumerate() {
+            self.mem
+                .store_u32(addr + (i as u32) * 4, *w)
+                .expect("program image must fit in RAM");
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MachineError`] encountered; the machine state is
+    /// left as of the error (partial effects of the failing instruction may
+    /// have applied, as in real UB — callers must not continue stepping).
+    pub fn step(&mut self) -> Result<(), MachineError> {
+        let pc = self.pc;
+        if !word::is_aligned(pc, 4) {
+            return Err(MachineError::FetchMisaligned { addr: pc });
+        }
+        if !self.mem.in_range(pc, 4) {
+            return Err(MachineError::FetchOutOfRange { addr: pc });
+        }
+        if !self.xaddrs.contains_range(pc, 4) {
+            return Err(MachineError::FetchNonExecutable { addr: pc });
+        }
+        let inst_word = self.mem.load_u32(pc).expect("range checked above");
+        let inst = decode(inst_word);
+        self.next_pc = pc.wrapping_add(4);
+        execute(self, &inst)?;
+        self.pc = self.next_pc;
+        self.instret += 1;
+        self.mmio.tick();
+        Ok(())
+    }
+
+    /// Runs until `ebreak`, an error, or `fuel` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MachineError`] other than [`MachineError::Breakpoint`], which
+    /// is the halt convention and reported as [`StepOutcome::Halted`].
+    pub fn run_until_ebreak(&mut self, fuel: u64) -> Result<StepOutcome, MachineError> {
+        for _ in 0..fuel {
+            match self.step() {
+                Ok(()) => {}
+                Err(MachineError::Breakpoint { .. }) => {
+                    return Ok(StepOutcome::Halted {
+                        steps: self.instret,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(StepOutcome::OutOfFuel)
+    }
+
+    /// Runs exactly `n` instructions or until an error.
+    ///
+    /// # Errors
+    ///
+    /// The first [`MachineError`] encountered, with the number of
+    /// successfully retired instructions recoverable from
+    /// [`SpecMachine::instret`].
+    pub fn run(&mut self, n: u64) -> Result<(), MachineError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Decodes the instruction at the current pc without executing it.
+    pub fn current_instruction(&self) -> Option<Instruction> {
+        self.mem.load_u32(self.pc).ok().map(decode)
+    }
+}
+
+impl<M: MmioHandler> Primitives for SpecMachine<M> {
+    type Error = MachineError;
+
+    fn get_register(&mut self, r: Reg) -> u32 {
+        self.reg(r)
+    }
+
+    fn set_register(&mut self, r: Reg, v: u32) {
+        self.set_reg(r, v);
+    }
+
+    fn load(&mut self, size: AccessSize, addr: u32) -> Result<u32, MachineError> {
+        let n = size.bytes();
+        if self.mem.in_range(addr, n) {
+            if !word::is_aligned(addr, n) {
+                return Err(MachineError::MisalignedAccess { addr, size });
+            }
+            Ok(match size {
+                AccessSize::Byte => self.mem.load_u8(addr).unwrap() as u32,
+                AccessSize::Half => self.mem.load_u16(addr).unwrap() as u32,
+                AccessSize::Word => self.mem.load_u32(addr).unwrap(),
+            })
+        } else if self.mmio.is_mmio(addr, size) {
+            if size != AccessSize::Word || !word::is_aligned(addr, 4) {
+                return Err(MachineError::MmioMisaligned { addr, size });
+            }
+            let value = self.mmio.load(addr, size);
+            self.trace.push(MmioEvent::load(addr, value));
+            Ok(value)
+        } else {
+            Err(MachineError::AccessFault { addr, size })
+        }
+    }
+
+    fn store(&mut self, size: AccessSize, addr: u32, value: u32) -> Result<(), MachineError> {
+        let n = size.bytes();
+        if self.mem.in_range(addr, n) {
+            if !word::is_aligned(addr, n) {
+                return Err(MachineError::MisalignedAccess { addr, size });
+            }
+            match size {
+                AccessSize::Byte => self.mem.store_u8(addr, value as u8).unwrap(),
+                AccessSize::Half => self.mem.store_u16(addr, value as u16).unwrap(),
+                AccessSize::Word => self.mem.store_u32(addr, value).unwrap(),
+            }
+            // The store revokes executability of the touched bytes (§5.6).
+            self.xaddrs.remove_range(addr, n);
+            Ok(())
+        } else if self.mmio.is_mmio(addr, size) {
+            if size != AccessSize::Word || !word::is_aligned(addr, 4) {
+                return Err(MachineError::MmioMisaligned { addr, size });
+            }
+            self.mmio.store(addr, size, value);
+            self.trace.push(MmioEvent::store(addr, value));
+            Ok(())
+        } else {
+            Err(MachineError::AccessFault { addr, size })
+        }
+    }
+
+    fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    fn set_next_pc(&mut self, target: u32) {
+        self.next_pc = target;
+    }
+
+    fn fence_i(&mut self) {
+        // Resynchronize: everything in RAM becomes executable again.
+        self.xaddrs.add_range(0, self.mem.size());
+    }
+
+    fn trap(&mut self, t: Trap) -> Result<(), MachineError> {
+        let addr = self.pc;
+        Err(match t {
+            Trap::MisalignedJump { target } => MachineError::MisalignedJump { addr, target },
+            Trap::EnvironmentCall => MachineError::EnvironmentCall { addr },
+            Trap::Breakpoint => MachineError::Breakpoint { addr },
+            Trap::IllegalInstruction { word } => MachineError::IllegalInstruction { addr, word },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::isa::Instruction as I;
+    use crate::mmio::NoMmio;
+
+    fn machine_with(words: &[I]) -> SpecMachine<NoMmio> {
+        let encoded: Vec<u32> = words.iter().map(encode).collect();
+        let mut m = SpecMachine::new(Memory::with_size(0x1000), NoMmio);
+        m.load_program(0, &encoded);
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut m = machine_with(&[
+            I::Addi {
+                rd: Reg::X5,
+                rs1: Reg::X0,
+                imm: 40,
+            },
+            I::Addi {
+                rd: Reg::X6,
+                rs1: Reg::X5,
+                imm: 2,
+            },
+            I::Ebreak,
+        ]);
+        let out = m.run_until_ebreak(10).unwrap();
+        assert_eq!(out, StepOutcome::Halted { steps: 2 });
+        assert_eq!(m.reg(Reg::X6), 42);
+    }
+
+    #[test]
+    fn x0_is_immutable() {
+        let mut m = machine_with(&[
+            I::Addi {
+                rd: Reg::X0,
+                rs1: Reg::X0,
+                imm: 99,
+            },
+            I::Ebreak,
+        ]);
+        m.run_until_ebreak(10).unwrap();
+        assert_eq!(m.reg(Reg::X0), 0);
+    }
+
+    #[test]
+    fn loop_with_branch() {
+        // x5 = 5; x6 = 0; while (x5 != 0) { x6 += x5; x5 -= 1; }
+        let mut m = machine_with(&[
+            I::Addi {
+                rd: Reg::X5,
+                rs1: Reg::X0,
+                imm: 5,
+            },
+            I::Addi {
+                rd: Reg::X6,
+                rs1: Reg::X0,
+                imm: 0,
+            },
+            I::Beq {
+                rs1: Reg::X5,
+                rs2: Reg::X0,
+                offset: 16,
+            },
+            I::Add {
+                rd: Reg::X6,
+                rs1: Reg::X6,
+                rs2: Reg::X5,
+            },
+            I::Addi {
+                rd: Reg::X5,
+                rs1: Reg::X5,
+                imm: -1,
+            },
+            I::Jal {
+                rd: Reg::X0,
+                offset: -12,
+            },
+            I::Ebreak,
+        ]);
+        m.run_until_ebreak(100).unwrap();
+        assert_eq!(m.reg(Reg::X6), 15);
+    }
+
+    #[test]
+    fn function_call_and_return() {
+        // jal x1, +12 ; ebreak ; <pad> ; addi x10,x0,7 ; jalr x0, 0(x1)
+        let mut m = machine_with(&[
+            I::Jal {
+                rd: Reg::X1,
+                offset: 12,
+            },
+            I::Ebreak,
+            I::NOP,
+            I::Addi {
+                rd: Reg::X10,
+                rs1: Reg::X0,
+                imm: 7,
+            },
+            I::Jalr {
+                rd: Reg::X0,
+                rs1: Reg::X1,
+                offset: 0,
+            },
+        ]);
+        m.run_until_ebreak(10).unwrap();
+        assert_eq!(m.reg(Reg::X10), 7);
+        assert_eq!(m.reg(Reg::X1), 4); // return address
+    }
+
+    #[test]
+    fn memory_roundtrip_and_sign_extension() {
+        let mut m = machine_with(&[
+            I::Addi {
+                rd: Reg::X5,
+                rs1: Reg::X0,
+                imm: -1,
+            },
+            I::Sb {
+                rs1: Reg::X0,
+                rs2: Reg::X5,
+                offset: 0x100,
+            },
+            I::Lb {
+                rd: Reg::X6,
+                rs1: Reg::X0,
+                offset: 0x100,
+            },
+            I::Lbu {
+                rd: Reg::X7,
+                rs1: Reg::X0,
+                offset: 0x100,
+            },
+            I::Ebreak,
+        ]);
+        m.run_until_ebreak(10).unwrap();
+        assert_eq!(m.reg(Reg::X6), u32::MAX);
+        assert_eq!(m.reg(Reg::X7), 0xFF);
+    }
+
+    #[test]
+    fn stale_instruction_fetch_is_ub() {
+        // Store over the *next* instruction, then fall into it.
+        let mut m = machine_with(&[
+            I::Sw {
+                rs1: Reg::X0,
+                rs2: Reg::X0,
+                offset: 4,
+            },
+            I::Ebreak, // overwritten by the store; fetching it is now UB
+        ]);
+        m.step().unwrap();
+        assert_eq!(m.step(), Err(MachineError::FetchNonExecutable { addr: 4 }));
+    }
+
+    #[test]
+    fn fence_i_makes_modified_code_runnable() {
+        // Store an ebreak over instruction slot 3, fence.i, run into it.
+        let ebreak_word = encode(&I::Ebreak) as i32;
+        assert!((0..2048).contains(&(ebreak_word & 0xFFF)));
+        // Build: lui x5, %hi(ebreak); addi x5, x5, %lo; sw x5, 12(x0); fence.i; <slot>
+        let hi = ((ebreak_word as u32).wrapping_add(0x800)) >> 12;
+        let lo = (ebreak_word as u32 & 0xFFF) as i32;
+        let lo = if lo >= 2048 { lo - 4096 } else { lo };
+        let mut m = machine_with(&[
+            I::Lui {
+                rd: Reg::X5,
+                imm20: hi,
+            },
+            I::Addi {
+                rd: Reg::X5,
+                rs1: Reg::X5,
+                imm: lo,
+            },
+            I::Sw {
+                rs1: Reg::X0,
+                rs2: Reg::X5,
+                offset: 16,
+            },
+            I::FenceI,
+            I::NOP, // slot 16 — overwritten with ebreak
+        ]);
+        let out = m.run_until_ebreak(10).unwrap();
+        assert!(matches!(out, StepOutcome::Halted { .. }));
+    }
+
+    #[test]
+    fn misaligned_access_is_ub() {
+        let mut m = machine_with(&[I::Lw {
+            rd: Reg::X5,
+            rs1: Reg::X0,
+            offset: 0x101,
+        }]);
+        assert_eq!(
+            m.step(),
+            Err(MachineError::MisalignedAccess {
+                addr: 0x101,
+                size: AccessSize::Word
+            })
+        );
+    }
+
+    #[test]
+    fn non_ram_non_mmio_access_is_ub() {
+        let words = [encode(&I::Lw {
+            rd: Reg::X5,
+            rs1: Reg::X0,
+            offset: 0x7FC,
+        })];
+        let mut m = SpecMachine::new(Memory::with_size(0x400), NoMmio);
+        m.load_program(0, &words);
+        assert!(matches!(m.step(), Err(MachineError::AccessFault { .. })));
+    }
+
+    #[test]
+    fn illegal_instruction_reported_with_pc() {
+        let mut m = SpecMachine::new(Memory::with_size(0x100), NoMmio);
+        m.mem.store_u32(0, 0xFFFF_FFFF).unwrap();
+        assert_eq!(
+            m.step(),
+            Err(MachineError::IllegalInstruction {
+                addr: 0,
+                word: 0xFFFF_FFFF
+            })
+        );
+    }
+
+    #[test]
+    fn pc_leaving_ram_is_ub() {
+        let mut m = machine_with(&[I::Jal {
+            rd: Reg::X0,
+            offset: 0x2000,
+        }]);
+        m.step().unwrap();
+        assert_eq!(
+            m.step(),
+            Err(MachineError::FetchOutOfRange { addr: 0x2000 })
+        );
+    }
+
+    #[test]
+    fn mmio_trace_recording() {
+        #[derive(Default)]
+        struct Echo {
+            last: u32,
+        }
+        impl MmioHandler for Echo {
+            fn is_mmio(&self, addr: u32, _s: AccessSize) -> bool {
+                (0x1000_0000..0x1000_1000).contains(&addr)
+            }
+            fn load(&mut self, _addr: u32, _s: AccessSize) -> u32 {
+                self.last
+            }
+            fn store(&mut self, _addr: u32, _s: AccessSize, v: u32) {
+                self.last = v;
+            }
+        }
+        // lui x5, 0x10000; addi x6, x0, 7; sw x6, 0(x5); lw x7, 0(x5); ebreak
+        let prog = [
+            I::Lui {
+                rd: Reg::X5,
+                imm20: 0x10000,
+            },
+            I::Addi {
+                rd: Reg::X6,
+                rs1: Reg::X0,
+                imm: 7,
+            },
+            I::Sw {
+                rs1: Reg::X5,
+                rs2: Reg::X6,
+                offset: 0,
+            },
+            I::Lw {
+                rd: Reg::X7,
+                rs1: Reg::X5,
+                offset: 0,
+            },
+            I::Ebreak,
+        ];
+        let words: Vec<u32> = prog.iter().map(encode).collect();
+        let mut m = SpecMachine::new(Memory::with_size(0x1000), Echo::default());
+        m.load_program(0, &words);
+        m.run_until_ebreak(10).unwrap();
+        assert_eq!(m.reg(Reg::X7), 7);
+        assert_eq!(
+            m.trace,
+            vec![
+                MmioEvent::store(0x1000_0000, 7),
+                MmioEvent::load(0x1000_0000, 7)
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_mmio_access_is_ub() {
+        struct Always;
+        impl MmioHandler for Always {
+            fn is_mmio(&self, _a: u32, _s: AccessSize) -> bool {
+                true
+            }
+            fn load(&mut self, _a: u32, _s: AccessSize) -> u32 {
+                0
+            }
+            fn store(&mut self, _a: u32, _s: AccessSize, _v: u32) {}
+        }
+        let prog = [I::Sb {
+            rs1: Reg::X0,
+            rs2: Reg::X0,
+            offset: 0x7FF,
+        }];
+        let words: Vec<u32> = prog.iter().map(encode).collect();
+        // RAM of 0x400 so 0x7FF is outside RAM -> goes to MMIO, but byte-sized.
+        let mut m = SpecMachine::new(Memory::with_size(0x400), Always);
+        m.load_program(0, &words);
+        assert!(matches!(m.step(), Err(MachineError::MmioMisaligned { .. })));
+    }
+}

@@ -1,0 +1,236 @@
+//! Byte-addressed flat memory, shared between the ISA machine, the Bedrock2
+//! interpreter, and the hardware models.
+//!
+//! Memory starts at address 0 (the paper's system boots from address 0 with
+//! no bootloader, §5.9) and covers `size` bytes; every access is bounds
+//! checked and the machine layers decide what an out-of-range access means
+//! (MMIO or undefined behavior). All multi-byte accesses are little-endian.
+
+use std::fmt;
+
+/// Error returned when an access falls outside the memory range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfRange {
+    /// The offending address.
+    pub addr: u32,
+    /// The access width in bytes.
+    pub len: u32,
+}
+
+impl fmt::Display for OutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory access out of range: {} bytes at 0x{:08x}",
+            self.len, self.addr
+        )
+    }
+}
+
+impl std::error::Error for OutOfRange {}
+
+/// A flat little-endian byte memory based at address 0.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates a zero-initialized memory of `size` bytes.
+    pub fn with_size(size: u32) -> Memory {
+        Memory {
+            bytes: vec![0; size as usize],
+        }
+    }
+
+    /// Creates a memory initialized from `image`, padded with zeros to
+    /// `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` is longer than `size`.
+    pub fn from_image(image: &[u8], size: u32) -> Memory {
+        assert!(image.len() <= size as usize, "image larger than memory");
+        let mut bytes = image.to_vec();
+        bytes.resize(size as usize, 0);
+        Memory { bytes }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// True when `len` bytes at `addr` are all inside this memory.
+    pub fn in_range(&self, addr: u32, len: u32) -> bool {
+        (addr as u64) + (len as u64) <= self.bytes.len() as u64
+    }
+
+    fn check(&self, addr: u32, len: u32) -> Result<usize, OutOfRange> {
+        if self.in_range(addr, len) {
+            Ok(addr as usize)
+        } else {
+            Err(OutOfRange { addr, len })
+        }
+    }
+
+    /// Loads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRange`] when the address is outside memory.
+    pub fn load_u8(&self, addr: u32) -> Result<u8, OutOfRange> {
+        let i = self.check(addr, 1)?;
+        Ok(self.bytes[i])
+    }
+
+    /// Loads a little-endian halfword. May be unaligned (alignment policy is
+    /// enforced by the machine, not by the memory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRange`] when the range is outside memory.
+    pub fn load_u16(&self, addr: u32) -> Result<u16, OutOfRange> {
+        let i = self.check(addr, 2)?;
+        Ok(u16::from_le_bytes([self.bytes[i], self.bytes[i + 1]]))
+    }
+
+    /// Loads a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRange`] when the range is outside memory.
+    pub fn load_u32(&self, addr: u32) -> Result<u32, OutOfRange> {
+        let i = self.check(addr, 4)?;
+        Ok(u32::from_le_bytes([
+            self.bytes[i],
+            self.bytes[i + 1],
+            self.bytes[i + 2],
+            self.bytes[i + 3],
+        ]))
+    }
+
+    /// Stores one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRange`] when the address is outside memory.
+    pub fn store_u8(&mut self, addr: u32, v: u8) -> Result<(), OutOfRange> {
+        let i = self.check(addr, 1)?;
+        self.bytes[i] = v;
+        Ok(())
+    }
+
+    /// Stores a little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRange`] when the range is outside memory.
+    pub fn store_u16(&mut self, addr: u32, v: u16) -> Result<(), OutOfRange> {
+        let i = self.check(addr, 2)?;
+        self.bytes[i..i + 2].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Stores a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRange`] when the range is outside memory.
+    pub fn store_u32(&mut self, addr: u32, v: u32) -> Result<(), OutOfRange> {
+        let i = self.check(addr, 4)?;
+        self.bytes[i..i + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Copies `data` into memory starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRange`] when the range is outside memory; nothing is
+    /// written in that case.
+    pub fn store_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), OutOfRange> {
+        let i = self.check(addr, data.len() as u32)?;
+        self.bytes[i..i + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRange`] when the range is outside memory.
+    pub fn load_bytes(&self, addr: u32, len: u32) -> Result<&[u8], OutOfRange> {
+        let i = self.check(addr, len)?;
+        Ok(&self.bytes[i..i + len as usize])
+    }
+
+    /// A view of the whole memory as bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Memory({} bytes)", self.bytes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let mut m = Memory::with_size(16);
+        m.store_u32(4, 0x1122_3344).unwrap();
+        assert_eq!(m.load_u8(4).unwrap(), 0x44);
+        assert_eq!(m.load_u8(7).unwrap(), 0x11);
+        assert_eq!(m.load_u16(4).unwrap(), 0x3344);
+        assert_eq!(m.load_u32(4).unwrap(), 0x1122_3344);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut m = Memory::with_size(8);
+        assert_eq!(m.load_u32(5), Err(OutOfRange { addr: 5, len: 4 }));
+        assert_eq!(m.load_u32(8), Err(OutOfRange { addr: 8, len: 4 }));
+        assert!(m.load_u32(4).is_ok());
+        assert!(m.store_u8(7, 1).is_ok());
+        assert!(m.store_u8(8, 1).is_err());
+        // address arithmetic must not overflow
+        assert!(m.load_u32(u32::MAX).is_err());
+    }
+
+    #[test]
+    fn unaligned_access_is_memorys_problem_not() {
+        // The memory itself allows unaligned accesses; machines reject them.
+        let mut m = Memory::with_size(8);
+        m.store_u32(1, 0xAABB_CCDD).unwrap();
+        assert_eq!(m.load_u32(1).unwrap(), 0xAABB_CCDD);
+    }
+
+    #[test]
+    fn image_initialization() {
+        let m = Memory::from_image(&[1, 2, 3], 8);
+        assert_eq!(m.load_u8(0).unwrap(), 1);
+        assert_eq!(m.load_u8(3).unwrap(), 0);
+        assert_eq!(m.size(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "image larger than memory")]
+    fn oversized_image_panics() {
+        Memory::from_image(&[0; 9], 8);
+    }
+
+    #[test]
+    fn store_bytes_all_or_nothing() {
+        let mut m = Memory::with_size(4);
+        assert!(m.store_bytes(2, &[1, 2, 3]).is_err());
+        assert_eq!(m.as_bytes(), &[0, 0, 0, 0]);
+        assert!(m.store_bytes(1, &[7, 8]).is_ok());
+        assert_eq!(m.as_bytes(), &[0, 7, 8, 0]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Memory-mapped I/O: event records and the handler interface.
+//!
+//! In the paper, the ISA specification is *parameterized* over the behavior
+//! of loads and stores that fall outside the memory owned by the running
+//! code (§6.2: `nonmem_load` / `nonmem_store`). [`MmioHandler`] is that
+//! parameter here. Every access routed to the handler is recorded by the
+//! machine as an [`MmioEvent`]; the list of these events is exactly the
+//! trace the top-level `goodHlTrace` specification constrains.
+
+use std::fmt;
+
+/// The width of a memory or MMIO access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessSize {
+    /// One byte (`lb`/`lbu`/`sb`).
+    Byte,
+    /// Two bytes (`lh`/`lhu`/`sh`).
+    Half,
+    /// Four bytes (`lw`/`sw`).
+    Word,
+}
+
+impl AccessSize {
+    /// Width in bytes: 1, 2, or 4.
+    pub fn bytes(self) -> u32 {
+        match self {
+            AccessSize::Byte => 1,
+            AccessSize::Half => 2,
+            AccessSize::Word => 4,
+        }
+    }
+}
+
+/// Whether an I/O interaction was a load (the device supplied `value`) or a
+/// store (the processor supplied `value`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MmioEventKind {
+    /// An MMIO load: the triple `("ld", addr, value)` of the paper (§3.1).
+    Load,
+    /// An MMIO store: the triple `("st", addr, value)`.
+    Store,
+}
+
+impl fmt::Display for MmioEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmioEventKind::Load => write!(f, "ld"),
+            MmioEventKind::Store => write!(f, "st"),
+        }
+    }
+}
+
+/// One observable I/O interaction of the system: the `(kind, addr, value)`
+/// triples that make up the end-to-end theorem's trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MmioEvent {
+    /// Load or store.
+    pub kind: MmioEventKind,
+    /// The bus address of the access.
+    pub addr: u32,
+    /// The value read (for loads) or written (for stores).
+    pub value: u32,
+}
+
+impl MmioEvent {
+    /// Constructs a load event.
+    pub fn load(addr: u32, value: u32) -> MmioEvent {
+        MmioEvent {
+            kind: MmioEventKind::Load,
+            addr,
+            value,
+        }
+    }
+
+    /// Constructs a store event.
+    pub fn store(addr: u32, value: u32) -> MmioEvent {
+        MmioEvent {
+            kind: MmioEventKind::Store,
+            addr,
+            value,
+        }
+    }
+}
+
+impl fmt::Display for MmioEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(\"{}\", 0x{:08x}, 0x{:08x})",
+            self.kind, self.addr, self.value
+        )
+    }
+}
+
+/// The external-interaction parameter of the ISA semantics (§6.2).
+///
+/// A handler decides which addresses belong to it, answers loads, and
+/// accepts stores. The machine only consults the handler for accesses that
+/// fall outside RAM; accesses outside RAM that the handler also disclaims
+/// are undefined behavior.
+///
+/// `tick` is called once per executed instruction so that devices with
+/// internal latency (FIFO drains, PHY timing) can make progress; handlers
+/// that don't need time can use the default empty implementation.
+pub trait MmioHandler {
+    /// True when this handler services `addr` for an access of width `size`.
+    fn is_mmio(&self, addr: u32, size: AccessSize) -> bool;
+
+    /// Services an MMIO load. Only called when `is_mmio` returned true.
+    fn load(&mut self, addr: u32, size: AccessSize) -> u32;
+
+    /// Services an MMIO store. Only called when `is_mmio` returned true.
+    fn store(&mut self, addr: u32, size: AccessSize, value: u32);
+
+    /// Advances device-internal time by one instruction/cycle.
+    fn tick(&mut self) {}
+}
+
+/// A handler that claims no addresses: every non-RAM access is undefined
+/// behavior. Useful for pure computation tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoMmio;
+
+impl NoMmio {
+    /// Creates the empty handler.
+    pub fn new() -> NoMmio {
+        NoMmio
+    }
+}
+
+impl MmioHandler for NoMmio {
+    fn is_mmio(&self, _addr: u32, _size: AccessSize) -> bool {
+        false
+    }
+
+    fn load(&mut self, _addr: u32, _size: AccessSize) -> u32 {
+        unreachable!("NoMmio never claims an address")
+    }
+
+    fn store(&mut self, _addr: u32, _size: AccessSize, _value: u32) {
+        unreachable!("NoMmio never claims an address")
+    }
+}
+
+/// Forwarding impl so a `&mut H` can be used wherever a handler is needed.
+impl<H: MmioHandler + ?Sized> MmioHandler for &mut H {
+    fn is_mmio(&self, addr: u32, size: AccessSize) -> bool {
+        (**self).is_mmio(addr, size)
+    }
+
+    fn load(&mut self, addr: u32, size: AccessSize) -> u32 {
+        (**self).load(addr, size)
+    }
+
+    fn store(&mut self, addr: u32, size: AccessSize, value: u32) {
+        (**self).store(addr, size, value)
+    }
+
+    fn tick(&mut self) {
+        (**self).tick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_display_matches_paper_notation() {
+        let e = MmioEvent::load(0x1002_404C, 0x8000_0000);
+        assert_eq!(e.to_string(), "(\"ld\", 0x1002404c, 0x80000000)");
+        let e = MmioEvent::store(0x1001_200C, 1);
+        assert_eq!(e.to_string(), "(\"st\", 0x1001200c, 0x00000001)");
+    }
+
+    #[test]
+    fn access_size_bytes() {
+        assert_eq!(AccessSize::Byte.bytes(), 1);
+        assert_eq!(AccessSize::Half.bytes(), 2);
+        assert_eq!(AccessSize::Word.bytes(), 4);
+    }
+
+    #[test]
+    fn no_mmio_claims_nothing() {
+        assert!(!NoMmio.is_mmio(0x1000_0000, AccessSize::Word));
+    }
+}

@@ -1,0 +1,87 @@
+//! The primitive operations in terms of which instruction semantics are
+//! defined once and for all.
+//!
+//! Following riscv-coq (§5.4 of the paper), [`crate::execute()`](crate::execute::execute) never touches
+//! a machine-state representation directly: it only calls methods of this
+//! trait. Different machines give the primitives different meanings — the
+//! [`crate::SpecMachine`] treats a [`Trap`] as a hard error (undefined
+//! behavior from the software contract's point of view), while a test
+//! harness could choose to log and continue. This is the "RISC-V as
+//! specified by riscv-coq" interface box of Figure 3 in the paper.
+
+use crate::isa::Reg;
+use crate::mmio::AccessSize;
+
+/// An exceptional outcome of executing one instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// A jump or taken branch targeted an address that is not 4-byte
+    /// aligned.
+    MisalignedJump {
+        /// The misaligned target address.
+        target: u32,
+    },
+    /// An `ecall` was executed. The embedded stack has no execution
+    /// environment, so this is fatal.
+    EnvironmentCall,
+    /// An `ebreak` was executed (used as the halt convention by tests).
+    Breakpoint,
+    /// The fetched word does not decode to an implemented instruction.
+    IllegalInstruction {
+        /// The undecodable instruction word.
+        word: u32,
+    },
+}
+
+/// State-access primitives of the RISC-V semantics.
+///
+/// Implementors decide what memory is, what happens on I/O, and whether a
+/// trap is recoverable. `execute` guarantees it never calls
+/// [`Primitives::set_register`] with `x0` having an architectural effect —
+/// implementors must discard such writes (the provided machines do).
+pub trait Primitives {
+    /// The implementor's error type (`execute` is polymorphic in it).
+    type Error;
+
+    /// Reads a register; `x0` must read as zero.
+    fn get_register(&mut self, r: Reg) -> u32;
+
+    /// Writes a register; writes to `x0` must be discarded.
+    fn set_register(&mut self, r: Reg, v: u32);
+
+    /// Loads `size` bytes at `addr`, zero-extended into a word.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined: out-of-range, misaligned, or device errors.
+    fn load(&mut self, size: AccessSize, addr: u32) -> Result<u32, Self::Error>;
+
+    /// Stores the low `size` bytes of `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined: out-of-range, misaligned, or device errors.
+    fn store(&mut self, size: AccessSize, addr: u32, value: u32) -> Result<(), Self::Error>;
+
+    /// The address of the instruction currently executing.
+    fn pc(&self) -> u32;
+
+    /// Sets the address of the *next* instruction (committed by the
+    /// machine's step function after `execute` returns).
+    fn set_next_pc(&mut self, target: u32);
+
+    /// Memory fence; a no-op on all in-order machines in this workspace.
+    fn fence(&mut self) {}
+
+    /// Instruction fence: resynchronizes instruction fetch with data memory
+    /// (restores XAddrs executability in machines that track it).
+    fn fence_i(&mut self) {}
+
+    /// Reports a trap.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when the trap is fatal for this machine (the common
+    /// case); may return `Ok(())` in lenient harnesses.
+    fn trap(&mut self, t: Trap) -> Result<(), Self::Error>;
+}

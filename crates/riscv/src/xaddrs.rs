@@ -1,0 +1,175 @@
+//! The executable-address set **XAddrs** (§5.6 of the paper).
+//!
+//! The RISC-V specification does not require instruction fetches to observe
+//! ordinary stores; hardware with an instruction cache (like the Kami
+//! processor's eagerly-filled I$) may execute *stale* instructions after
+//! self-modification. The software-oriented machine model encodes the
+//! customary embedded-systems discipline: at boot every address is
+//! executable, each store revokes executability of the bytes it touches, and
+//! fetching from a non-executable address is undefined behavior. The
+//! compiler's obligation (discharged by differential testing here, by proof
+//! in the paper) is that compiled programs never fetch a revoked address.
+
+/// A set of executable byte addresses over the range `0..len`, stored as a
+/// bitmap (one bit per byte of RAM).
+#[derive(Clone, PartialEq, Eq)]
+pub struct XAddrs {
+    bits: Vec<u64>,
+    len: u32,
+}
+
+impl XAddrs {
+    /// Creates the boot-time set in which all of `0..len` is executable.
+    pub fn all(len: u32) -> XAddrs {
+        let words = (len as usize).div_ceil(64);
+        XAddrs {
+            bits: vec![u64::MAX; words],
+            len,
+        }
+    }
+
+    /// Creates an empty set covering `0..len`.
+    pub fn none(len: u32) -> XAddrs {
+        let words = (len as usize).div_ceil(64);
+        XAddrs {
+            bits: vec![0; words],
+            len,
+        }
+    }
+
+    /// The covered range length in bytes.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True when the covered range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when byte `addr` is inside the covered range and executable.
+    pub fn contains(&self, addr: u32) -> bool {
+        if addr >= self.len {
+            return false;
+        }
+        self.bits[(addr / 64) as usize] >> (addr % 64) & 1 == 1
+    }
+
+    /// True when all `n` bytes starting at `addr` are executable (the fetch
+    /// check for an `n`-byte instruction).
+    pub fn contains_range(&self, addr: u32, n: u32) -> bool {
+        match addr.checked_add(n) {
+            Some(end) if end <= self.len => (addr..end).all(|a| self.contains(a)),
+            _ => false,
+        }
+    }
+
+    /// Revokes executability of `n` bytes starting at `addr` (the effect of
+    /// a store). Bytes outside the covered range are ignored.
+    pub fn remove_range(&mut self, addr: u32, n: u32) {
+        let end = addr.saturating_add(n).min(self.len);
+        for a in addr.min(self.len)..end {
+            self.bits[(a / 64) as usize] &= !(1u64 << (a % 64));
+        }
+    }
+
+    /// Restores executability of `n` bytes starting at `addr` (the effect of
+    /// `fence.i` after writing code, in machines that support it).
+    pub fn add_range(&mut self, addr: u32, n: u32) {
+        let end = addr.saturating_add(n).min(self.len);
+        for a in addr.min(self.len)..end {
+            self.bits[(a / 64) as usize] |= 1u64 << (a % 64);
+        }
+    }
+
+    /// Number of executable bytes.
+    pub fn count(&self) -> u32 {
+        let full = self.bits.iter().map(|w| w.count_ones()).sum::<u32>();
+        // Mask out bits above len in the last word.
+        let spare = (self.bits.len() as u32) * 64 - self.len;
+        let tail_masked = if spare > 0 && !self.bits.is_empty() {
+            let last = *self.bits.last().unwrap();
+            (last >> (64 - spare)).count_ones()
+        } else {
+            0
+        };
+        full - tail_masked
+    }
+}
+
+impl std::fmt::Debug for XAddrs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "XAddrs({} of {} bytes executable)",
+            self.count(),
+            self.len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_state_is_all_executable() {
+        let x = XAddrs::all(100);
+        assert!(x.contains(0));
+        assert!(x.contains(99));
+        assert!(!x.contains(100));
+        assert!(x.contains_range(0, 100));
+        assert!(!x.contains_range(97, 4));
+        assert_eq!(x.count(), 100);
+    }
+
+    #[test]
+    fn stores_revoke() {
+        let mut x = XAddrs::all(128);
+        x.remove_range(64, 4);
+        assert!(!x.contains(64));
+        assert!(!x.contains(67));
+        assert!(x.contains(63));
+        assert!(x.contains(68));
+        assert!(!x.contains_range(60, 8));
+        assert_eq!(x.count(), 124);
+    }
+
+    #[test]
+    fn fence_i_restores() {
+        let mut x = XAddrs::all(64);
+        x.remove_range(0, 64);
+        assert_eq!(x.count(), 0);
+        x.add_range(8, 4);
+        assert!(x.contains_range(8, 4));
+        assert_eq!(x.count(), 4);
+    }
+
+    #[test]
+    fn out_of_range_operations_are_safe() {
+        let mut x = XAddrs::all(10);
+        x.remove_range(8, 100); // clamped
+        assert!(x.contains(7));
+        assert!(!x.contains(8));
+        assert!(!x.contains_range(u32::MAX, 4)); // no overflow
+        x.add_range(u32::MAX, 4); // no-op, no panic
+    }
+
+    #[test]
+    fn empty_set() {
+        let x = XAddrs::none(32);
+        assert_eq!(x.count(), 0);
+        assert!(!x.contains(0));
+        let z = XAddrs::all(0);
+        assert!(z.is_empty());
+        assert_eq!(z.count(), 0);
+    }
+
+    #[test]
+    fn count_masks_tail_bits() {
+        // len not a multiple of 64: the spare bits of the last word must not
+        // be counted even though `all` sets them.
+        let x = XAddrs::all(65);
+        assert_eq!(x.count(), 65);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests: encode/decode are exact inverses, and the machine
+//! preserves basic invariants on random instruction streams.
+
+use proptest::prelude::*;
+use riscv_spec::{decode, encode, Instruction, Memory, NoMmio, Reg, SpecMachine};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_i_imm() -> impl Strategy<Value = i32> {
+    -2048i32..=2047
+}
+
+fn arb_b_off() -> impl Strategy<Value = i32> {
+    (-2048i32..=2047).prop_map(|x| x * 2)
+}
+
+fn arb_j_off() -> impl Strategy<Value = i32> {
+    (-(1 << 19)..(1 << 19)).prop_map(|x: i32| x * 2)
+}
+
+fn arb_shamt() -> impl Strategy<Value = u32> {
+    0u32..32
+}
+
+fn arb_imm20() -> impl Strategy<Value = u32> {
+    0u32..(1 << 20)
+}
+
+prop_compose! {
+    fn rri()(rd in arb_reg(), rs1 in arb_reg(), imm in arb_i_imm()) -> (Reg, Reg, i32) {
+        (rd, rs1, imm)
+    }
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    use Instruction::*;
+    prop_oneof![
+        (arb_reg(), arb_imm20()).prop_map(|(rd, imm20)| Lui { rd, imm20 }),
+        (arb_reg(), arb_imm20()).prop_map(|(rd, imm20)| Auipc { rd, imm20 }),
+        (arb_reg(), arb_j_off()).prop_map(|(rd, offset)| Jal { rd, offset }),
+        rri().prop_map(|(rd, rs1, offset)| Jalr { rd, rs1, offset }),
+        (arb_reg(), arb_reg(), arb_b_off(), 0u8..6).prop_map(|(rs1, rs2, offset, k)| match k {
+            0 => Beq { rs1, rs2, offset },
+            1 => Bne { rs1, rs2, offset },
+            2 => Blt { rs1, rs2, offset },
+            3 => Bge { rs1, rs2, offset },
+            4 => Bltu { rs1, rs2, offset },
+            _ => Bgeu { rs1, rs2, offset },
+        }),
+        (rri(), 0u8..5).prop_map(|((rd, rs1, offset), k)| match k {
+            0 => Lb { rd, rs1, offset },
+            1 => Lh { rd, rs1, offset },
+            2 => Lw { rd, rs1, offset },
+            3 => Lbu { rd, rs1, offset },
+            _ => Lhu { rd, rs1, offset },
+        }),
+        (arb_reg(), arb_reg(), arb_i_imm(), 0u8..3).prop_map(|(rs1, rs2, offset, k)| match k {
+            0 => Sb { rs1, rs2, offset },
+            1 => Sh { rs1, rs2, offset },
+            _ => Sw { rs1, rs2, offset },
+        }),
+        (rri(), 0u8..6).prop_map(|((rd, rs1, imm), k)| match k {
+            0 => Addi { rd, rs1, imm },
+            1 => Slti { rd, rs1, imm },
+            2 => Sltiu { rd, rs1, imm },
+            3 => Xori { rd, rs1, imm },
+            4 => Ori { rd, rs1, imm },
+            _ => Andi { rd, rs1, imm },
+        }),
+        (arb_reg(), arb_reg(), arb_shamt(), 0u8..3).prop_map(|(rd, rs1, shamt, k)| match k {
+            0 => Slli { rd, rs1, shamt },
+            1 => Srli { rd, rs1, shamt },
+            _ => Srai { rd, rs1, shamt },
+        }),
+        (arb_reg(), arb_reg(), arb_reg(), 0u8..18).prop_map(|(rd, rs1, rs2, k)| match k {
+            0 => Add { rd, rs1, rs2 },
+            1 => Sub { rd, rs1, rs2 },
+            2 => Sll { rd, rs1, rs2 },
+            3 => Slt { rd, rs1, rs2 },
+            4 => Sltu { rd, rs1, rs2 },
+            5 => Xor { rd, rs1, rs2 },
+            6 => Srl { rd, rs1, rs2 },
+            7 => Sra { rd, rs1, rs2 },
+            8 => Or { rd, rs1, rs2 },
+            9 => And { rd, rs1, rs2 },
+            10 => Mul { rd, rs1, rs2 },
+            11 => Mulh { rd, rs1, rs2 },
+            12 => Mulhsu { rd, rs1, rs2 },
+            13 => Mulhu { rd, rs1, rs2 },
+            14 => Div { rd, rs1, rs2 },
+            15 => Divu { rd, rs1, rs2 },
+            16 => Rem { rd, rs1, rs2 },
+            _ => Remu { rd, rs1, rs2 },
+        }),
+        Just(Fence),
+        Just(FenceI),
+        Just(Ecall),
+        Just(Ebreak),
+    ]
+}
+
+proptest! {
+    /// decode ∘ encode = id on every valid instruction.
+    #[test]
+    fn decode_encode_roundtrip(inst in arb_instruction()) {
+        prop_assert_eq!(decode(encode(&inst)), inst);
+    }
+
+    /// encode ∘ decode = id on arbitrary words: decoding never loses
+    /// information (invalid words re-encode to themselves).
+    #[test]
+    fn encode_decode_roundtrip(word in any::<u32>()) {
+        prop_assert_eq!(encode(&decode(word)), word);
+    }
+
+    /// parse ∘ disassemble = id on every valid instruction.
+    #[test]
+    fn asm_roundtrip(inst in arb_instruction()) {
+        let text = riscv_spec::disassemble(&inst);
+        prop_assert_eq!(riscv_spec::parse_instruction(&text).unwrap(), inst);
+    }
+
+    /// The machine never makes x0 nonzero, never reports success with a pc
+    /// outside RAM, and counts retired instructions accurately.
+    #[test]
+    fn machine_invariants(words in proptest::collection::vec(any::<u32>(), 1..64)) {
+        let mut m = SpecMachine::new(Memory::with_size(0x1000), NoMmio);
+        m.load_program(0, &words);
+        for i in 0..200u64 {
+            match m.step() {
+                Ok(()) => {
+                    prop_assert_eq!(m.reg(Reg::X0), 0);
+                    prop_assert_eq!(m.instret, i + 1);
+                }
+                Err(_) => break,
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! A *second* application on the same verified platform (§3: "while this
+//! system could be used for any simple application, this paper focuses on
+//! one specific example"): a packet counter that displays, on the GPIO
+//! output pins, how many frames have arrived — reusing the SPI and
+//! LAN9250 drivers unchanged and swapping only the application function.
+//!
+//! ```sh
+//! cargo run --release --example packet_counter
+//! ```
+
+use lightbulb_system::bedrock2::dsl::*;
+use lightbulb_system::bedrock2::{Function, Program};
+use lightbulb_system::compiler::{compile, CompileOptions, Entry, MmioExtCompiler};
+use lightbulb_system::devices::{Board, SpiConfig, TrafficGen};
+use lightbulb_system::lightbulb::{lan9250_driver, layout, spi_driver};
+use lightbulb_system::processor::{PipelineConfig, Pipelined};
+
+/// The whole new application: poll; if a frame arrived (any frame — this
+/// app is a counter, not a validator), bump a counter kept in RAM and
+/// mirror it onto the GPIO output pins.
+fn counter_app() -> Vec<Function> {
+    let counter_addr = 0x8000; // scratch word above the code, below the stack
+    let init = Function::new(
+        "counter_init",
+        &[],
+        &["err"],
+        block([
+            store4(lit(counter_addr), lit(0)),
+            interact(&[], "MMIOWRITE", [lit(layout::GPIO_OUTPUT_EN), lit(0xFF)]),
+            call(&["err"], "lan_init", []),
+        ]),
+    );
+    let step = Function::new(
+        "counter_step",
+        &[],
+        &[],
+        stackalloc(
+            "buf",
+            layout::RX_BUFFER_BYTES,
+            block([
+                call(&["len", "code"], "lan_tryrecv", [var("buf")]),
+                // code 0 = copied, 2 = rejected by the length guard: both
+                // count as "a frame arrived".
+                when(
+                    or(eq(var("code"), lit(0)), eq(var("code"), lit(2))),
+                    block([
+                        set("n", add(load4(lit(counter_addr)), lit(1))),
+                        store4(lit(counter_addr), var("n")),
+                        interact(
+                            &[],
+                            "MMIOWRITE",
+                            [lit(layout::GPIO_OUTPUT_VAL), and(var("n"), lit(0xFF))],
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
+    );
+    vec![init, step]
+}
+
+fn main() {
+    // Drivers reused verbatim; only the application functions are new.
+    let mut fns = spi_driver::functions(true);
+    fns.extend(lan9250_driver::functions(true, false));
+    fns.extend(counter_app());
+    let prog = Program::from_functions(fns);
+    assert!(prog.check().is_empty());
+
+    let image = compile(
+        &prog,
+        &MmioExtCompiler,
+        &CompileOptions {
+            stack_top: 0x1_0000,
+            stack_size: Some(0x4000),
+            entry: Entry::EventLoop {
+                init: Some("counter_init".to_string()),
+                step: "counter_step".to_string(),
+            },
+            optimize: false,
+            spill_everything: false,
+        },
+    )
+    .expect("the counter app compiles");
+    println!(
+        "compiled the packet-counter app: {} instructions (drivers reused unchanged)",
+        image.insts.len()
+    );
+
+    let mut board = Board::new(SpiConfig::default());
+    let mut gen = TrafficGen::new(7);
+    // Mixed traffic: the counter counts all frames, valid or not.
+    let (frames, valid) = gen.mixed(10);
+    for f in &frames {
+        board.inject_frame(f);
+    }
+
+    let mut cpu = Pipelined::new(&image.bytes(), 0x1_0000, board, PipelineConfig::default());
+    cpu.run(4_000_000);
+    let count = cpu.mem.mmio.gpio.output_val;
+    println!(
+        "injected {} frames ({} valid for the lightbulb app — irrelevant here)",
+        frames.len(),
+        valid.len()
+    );
+    println!("GPIO pins now display: {count}");
+    assert_eq!(count as usize, frames.len(), "every frame must be counted");
+    println!("packet counter agrees ✓ — same platform, different application");
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full check pipeline for the lightbulb-system workspace.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests (release) =="
+cargo test --workspace --release
+
+echo "== docs =="
+cargo doc --workspace --no-deps
+
+echo "== examples =="
+for e in quickstart lightbulb_demo malformed_packet_fuzz differential_compiler pipeline_trace packet_counter; do
+  echo "-- $e"
+  cargo run --release --example "$e" >/dev/null
+done
+
+echo "== evaluation tables =="
+for b in table1 table2 table3 table4 fig_perf verif_perf; do
+  echo "-- $b"
+  cargo run --release -p bench --bin "$b" >/dev/null
+done
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,56 @@
+//! lightbulb-system: an executable, library-grade reproduction of
+//! *Integration Verification across Software and Hardware for a Simple
+//! Embedded System* (Erbsen, Gruetter, Choi, Wood & Chlipala, PLDI 2021).
+//!
+//! The paper builds an Ethernet-connected IoT lightbulb whose application
+//! software, drivers, compiler, ISA semantics, and pipelined RISC-V
+//! processor are all modeled in Coq and related by one machine-checked
+//! end-to-end theorem about the system's MMIO trace. This workspace
+//! rebuilds every one of those components as a running Rust system and
+//! replaces each proof with an executable check of the same statement —
+//! see `DESIGN.md` for the layer-by-layer correspondence and
+//! `EXPERIMENTS.md` for the reproduced evaluation.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | layer | crate |
+//! |-------|-------|
+//! | source language | [`bedrock2`] |
+//! | program logic & trace specs | [`proglogic`] |
+//! | compiler | [`compiler`] (bedrock2-compiler) |
+//! | ISA | [`riscv`] (riscv-spec) |
+//! | hardware framework | [`kami`] |
+//! | processors | [`processor`] |
+//! | peripherals & network | [`devices`] |
+//! | application | [`lightbulb`] |
+//! | end-to-end composition | [`integration`] |
+//!
+//! # Examples
+//!
+//! The complete end-to-end check — compile the lightbulb stack, boot it on
+//! the pipelined processor, drive network traffic, check the trace:
+//!
+//! ```no_run
+//! use lightbulb_system::integration::{end_to_end_lightbulb, SystemConfig};
+//! use lightbulb_system::devices::TrafficGen;
+//!
+//! let mut gen = TrafficGen::new(1);
+//! let frames = vec![gen.command(true)];
+//! let report = end_to_end_lightbulb(&SystemConfig::default(), &frames, 8_000_000, Some(&[true]))
+//!     .expect("the end-to-end property must hold");
+//! println!("checked {} MMIO events", report.events_checked);
+//! ```
+//!
+//! Runnable binaries live in `examples/`: `quickstart`, `lightbulb_demo`,
+//! `malformed_packet_fuzz`, `differential_compiler`, `pipeline_trace`, and
+//! `packet_counter`.
+
+pub use bedrock2;
+pub use bedrock2_compiler as compiler;
+pub use devices;
+pub use integration;
+pub use kami;
+pub use lightbulb;
+pub use processor;
+pub use proglogic;
+pub use riscv_spec as riscv;

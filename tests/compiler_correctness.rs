@@ -1,0 +1,114 @@
+//! Compiler-correctness differential sweep: random programs through every
+//! compiler configuration and both machine layers. This is the test-suite
+//! analogue of the paper's compiler theorem and §5.8 consistency proof.
+
+use lightbulb_system::integration::differential::{
+    check_compiler_differential, check_isa_consistency, check_optimizer_differential,
+    check_spill_all_differential, DiffError,
+};
+use lightbulb_system::integration::progen::{GenConfig, ProgGen};
+
+fn sweep(
+    name: &str,
+    seeds: std::ops::Range<u64>,
+    mut check: impl FnMut(&bedrock2::Program) -> Result<(), DiffError>,
+) {
+    let total = seeds.end - seeds.start;
+    let mut conclusive = 0;
+    for seed in seeds {
+        let prog = ProgGen::new(seed).gen_program();
+        match check(&prog) {
+            Ok(()) => conclusive += 1,
+            Err(DiffError::SourceUb(_)) => {}
+            Err(e) => panic!("{name}, seed {seed}: {e}\n\nprogram:\n{prog}"),
+        }
+    }
+    assert!(
+        conclusive * 2 >= total,
+        "{name}: only {conclusive}/{total} runs were conclusive"
+    );
+}
+
+#[test]
+fn naive_compiler_agrees_with_the_interpreter() {
+    sweep("naive", 0..80, |p| check_compiler_differential(p, false));
+}
+
+#[test]
+fn optimizing_compiler_agrees_with_the_interpreter() {
+    sweep("optimizing", 1000..1080, check_optimizer_differential);
+}
+
+#[test]
+fn spill_everything_ablation_is_still_correct() {
+    sweep("spill-all", 4000..4060, check_spill_all_differential);
+}
+
+#[test]
+fn single_cycle_core_agrees_with_the_isa_spec() {
+    sweep("isa-consistency", 2000..2060, |p| {
+        check_isa_consistency(p, false)
+    });
+}
+
+#[test]
+fn bigger_programs_also_agree() {
+    let config = GenConfig {
+        stmts_per_fn: 30,
+        max_expr_depth: 4,
+        max_loop_iters: 12,
+        helpers: 3,
+    };
+    let mut conclusive = 0;
+    for seed in 3000..3020u64 {
+        let prog = ProgGen::new(seed).with_config(config).gen_program();
+        match check_compiler_differential(&prog, false) {
+            Ok(()) => conclusive += 1,
+            Err(DiffError::SourceUb(_)) => {}
+            Err(e) => panic!("seed {seed}: {e}\n{prog}"),
+        }
+    }
+    assert!(conclusive >= 8, "{conclusive}/20 conclusive");
+}
+
+#[test]
+fn the_lightbulb_sources_compile_and_agree_at_every_layer() {
+    // The flagship program through the flattening differential: the
+    // interpreter and the FlatImp interpreter agree on a full
+    // init-plus-loop run. (The machine-level agreement is checked by the
+    // end_to_end tests, which run on all three machines.)
+    use bedrock2::semantics::Interp;
+    use lightbulb_system::devices::{Board, TrafficGen};
+    use lightbulb_system::lightbulb::{lightbulb_program, DriverOptions, MmioBridge};
+    use lightbulb_system::riscv::Memory;
+
+    let prog = lightbulb_program(DriverOptions::default());
+    let flat = lightbulb_system::compiler::flatten::flatten_program(&prog);
+
+    let mut gen = TrafficGen::new(99);
+    let frame = gen.command(true);
+
+    let mut src = Interp::new(
+        &prog,
+        Memory::with_size(0x1_0000),
+        MmioBridge::new(Board::default()),
+    );
+    src.ext.dev.inject_frame(&frame);
+    src.call("lightbulb_init", &[]).unwrap();
+    src.call("lightbulb_loop", &[]).unwrap();
+
+    let mut fi = lightbulb_system::compiler::flatimp::FlatInterp::new(
+        &flat,
+        Memory::with_size(0x1_0000),
+        MmioBridge::new(Board::default()),
+    );
+    fi.ext.dev.inject_frame(&frame);
+    fi.call("lightbulb_init", &[]).unwrap();
+    fi.call("lightbulb_loop", &[]).unwrap();
+
+    assert_eq!(
+        src.ext.events, fi.ext.events,
+        "source and FlatImp I/O traces"
+    );
+    assert!(fi.ext.dev.lightbulb_on());
+}

@@ -1,0 +1,125 @@
+//! Cross-crate integration tests: the end-to-end theorem (§5.9) checked
+//! over the full configuration grid.
+
+use lightbulb_system::devices::workload::{Malformation, TrafficGen};
+use lightbulb_system::integration::{
+    end_to_end_lightbulb, EndToEndError, ProcessorKind, SystemConfig,
+};
+use lightbulb_system::lightbulb::DriverOptions;
+
+const BUDGET: u64 = 600_000;
+
+#[test]
+fn end_to_end_default_configuration() {
+    let mut gen = TrafficGen::new(1);
+    let frames = vec![gen.command(true), gen.command(false), gen.command(true)];
+    let report = end_to_end_lightbulb(
+        &SystemConfig::default(),
+        &frames,
+        BUDGET,
+        Some(&[true, false, true]),
+    )
+    .unwrap();
+    assert!(report.run.bulb_on);
+    assert!(report.events_checked > 1000);
+}
+
+#[test]
+fn end_to_end_on_every_processor_model() {
+    let mut gen = TrafficGen::new(2);
+    let frames = vec![gen.command(true)];
+    for processor in [
+        ProcessorKind::SpecMachine,
+        ProcessorKind::SingleCycle,
+        ProcessorKind::Pipelined,
+    ] {
+        let config = SystemConfig {
+            processor,
+            ..SystemConfig::default()
+        };
+        let report = end_to_end_lightbulb(&config, &frames, BUDGET, Some(&[true]))
+            .unwrap_or_else(|e| panic!("{processor:?}: {e}"));
+        assert!(report.run.bulb_on, "{processor:?}");
+    }
+}
+
+#[test]
+fn end_to_end_with_the_optimizing_compiler() {
+    // The gcc-like baseline must satisfy the same specification — the spec
+    // constrains I/O, not code shape.
+    let mut gen = TrafficGen::new(3);
+    let config = SystemConfig {
+        optimize: true,
+        ..SystemConfig::default()
+    };
+    let report =
+        end_to_end_lightbulb(&config, &[gen.command(true)], BUDGET, Some(&[true])).unwrap();
+    assert!(report.run.bulb_on);
+}
+
+#[test]
+fn end_to_end_with_the_pipelined_spi_driver() {
+    let mut gen = TrafficGen::new(4);
+    let config = SystemConfig {
+        driver: DriverOptions {
+            timeouts: true,
+            pipelined_spi: true,
+        },
+        ..SystemConfig::default()
+    };
+    let report =
+        end_to_end_lightbulb(&config, &[gen.command(true)], BUDGET, Some(&[true])).unwrap();
+    assert!(report.run.bulb_on);
+}
+
+#[test]
+fn end_to_end_under_pure_attack_traffic() {
+    let mut gen = TrafficGen::new(5);
+    let frames: Vec<Vec<u8>> = Malformation::ALL
+        .iter()
+        .map(|k| gen.malformed(*k))
+        .collect();
+    let report =
+        end_to_end_lightbulb(&SystemConfig::default(), &frames, BUDGET * 2, Some(&[])).unwrap();
+    assert!(!report.run.bulb_on);
+    assert!(report.run.bulb_history.is_empty(), "no GPIO writes at all");
+}
+
+#[test]
+fn end_to_end_under_mixed_traffic_tracks_only_valid_commands() {
+    let mut gen = TrafficGen::new(6);
+    let (frames, expected) = gen.mixed(6);
+    end_to_end_lightbulb(
+        &SystemConfig::default(),
+        &frames,
+        BUDGET * 3,
+        Some(&expected),
+    )
+    .unwrap();
+}
+
+#[test]
+fn the_checker_rejects_wrong_expectations() {
+    // Negative control: demanding the wrong actuation sequence must fail
+    // with WrongActuation, not pass silently.
+    let mut gen = TrafficGen::new(7);
+    let err = end_to_end_lightbulb(
+        &SystemConfig::default(),
+        &[gen.command(true)],
+        BUDGET,
+        Some(&[false]),
+    );
+    assert!(matches!(err, Err(EndToEndError::WrongActuation { .. })));
+}
+
+#[test]
+fn spec_machine_certifies_the_software_contract_for_the_whole_boot() {
+    // Running on the spec machine checks alignment, XAddrs, and MMIO-range
+    // discipline at every single instruction of the real application.
+    let config = SystemConfig {
+        processor: ProcessorKind::SpecMachine,
+        ..SystemConfig::default()
+    };
+    let run = config.run(&[], 400_000);
+    assert!(run.error.is_none(), "{:?}", run.error);
+}

@@ -1,0 +1,82 @@
+//! Processor refinement (§5.7): every pipelined run is a legal
+//! single-cycle run, checked over random compiled programs and over the
+//! lightbulb system itself.
+
+use lightbulb_system::compiler::{compile, CompileOptions, MmioExtCompiler};
+use lightbulb_system::integration::debug_dev::DebugDevice;
+use lightbulb_system::integration::progen::ProgGen;
+use lightbulb_system::integration::{build_image, SystemConfig};
+use lightbulb_system::processor::{check_refinement, PipelineConfig};
+
+const RAM: u32 = 0x1_0000;
+
+#[test]
+fn random_compiled_programs_refine() {
+    let mut checked = 0;
+    for seed in 0..40u64 {
+        let prog = ProgGen::new(seed).gen_program();
+        let Ok(image) = compile(&prog, &MmioExtCompiler, &CompileOptions::default()) else {
+            continue;
+        };
+        match check_refinement(
+            &image.bytes(),
+            RAM,
+            DebugDevice::new(),
+            DebugDevice::claims,
+            PipelineConfig::default(),
+            20_000_000,
+        ) {
+            Ok(report) => {
+                assert!(report.impl_cycles >= report.spec_cycles);
+                checked += 1;
+            }
+            Err(d) => panic!("seed {seed}: refinement violated: {d:?}\n{prog}"),
+        }
+    }
+    assert!(checked >= 30, "only {checked}/40 programs checked");
+}
+
+#[test]
+fn refinement_holds_without_a_btb_too() {
+    for seed in 100..110u64 {
+        let prog = ProgGen::new(seed).gen_program();
+        let Ok(image) = compile(&prog, &MmioExtCompiler, &CompileOptions::default()) else {
+            continue;
+        };
+        check_refinement(
+            &image.bytes(),
+            RAM,
+            DebugDevice::new(),
+            DebugDevice::claims,
+            PipelineConfig {
+                btb_bits: None,
+                ..PipelineConfig::default()
+            },
+            20_000_000,
+        )
+        .unwrap_or_else(|d| panic!("seed {seed}: {d:?}"));
+    }
+}
+
+#[test]
+fn the_lightbulb_system_itself_refines() {
+    // The real workload: boot the full stack and check the (non-halting)
+    // pipelined run against the spec core by replay.
+    use lightbulb_system::devices::{Board, SpiConfig, TrafficGen};
+
+    let image = build_image(&SystemConfig::default());
+    let mut board = Board::new(SpiConfig::default());
+    let mut gen = TrafficGen::new(8);
+    board.inject_frame(&gen.command(true));
+
+    let report = check_refinement(
+        &image.bytes(),
+        RAM,
+        board,
+        Board::claims,
+        PipelineConfig::default(),
+        2_000_000,
+    )
+    .expect("the shipping system must refine its spec core");
+    assert!(report.events > 500, "boot plus one packet produce real I/O");
+}

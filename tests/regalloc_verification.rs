@@ -1,0 +1,65 @@
+//! Register allocation self-verification over random programs: for every
+//! generated function, the allocator's result is independently rechecked
+//! against a recomputed interference relation (no two simultaneously-live
+//! variables share a location) — the paper's phase-2 theorem as a checker,
+//! exercised at scale.
+
+use lightbulb_system::compiler::flatten::flatten_program;
+use lightbulb_system::compiler::regalloc::{allocate, verify_allocation, Loc};
+use lightbulb_system::integration::progen::{GenConfig, ProgGen};
+use lightbulb_system::lightbulb::{lightbulb_program, DriverOptions};
+
+#[test]
+fn allocations_verify_on_random_programs() {
+    for seed in 0..120u64 {
+        let prog = ProgGen::new(seed).gen_program();
+        let flat = flatten_program(&prog);
+        for (name, f) in &flat.functions {
+            let alloc = allocate(f);
+            verify_allocation(f, &alloc).unwrap_or_else(|e| panic!("seed {seed}, fn {name}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn allocations_verify_under_high_pressure() {
+    let config = GenConfig {
+        stmts_per_fn: 40,
+        max_expr_depth: 5,
+        max_loop_iters: 6,
+        helpers: 2,
+    };
+    for seed in 500..540u64 {
+        let prog = ProgGen::new(seed).with_config(config).gen_program();
+        let flat = flatten_program(&prog);
+        for (name, f) in &flat.functions {
+            let alloc = allocate(f);
+            verify_allocation(f, &alloc).unwrap_or_else(|e| panic!("seed {seed}, fn {name}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn the_lightbulb_sources_allocate_cleanly() {
+    for opts in [
+        DriverOptions::default(),
+        DriverOptions {
+            timeouts: false,
+            pipelined_spi: true,
+        },
+    ] {
+        let flat = flatten_program(&lightbulb_program(opts));
+        for (name, f) in &flat.functions {
+            let alloc = allocate(f);
+            verify_allocation(f, &alloc).unwrap_or_else(|e| panic!("{name}: {e}"));
+            // The drivers are small enough to fit in registers entirely —
+            // a property the cycle counts in EXPERIMENTS.md rely on.
+            assert_eq!(
+                alloc.nspills, 0,
+                "{name} should not spill ({} vars)",
+                f.nvars
+            );
+            assert!(alloc.map.iter().all(|l| matches!(l, Loc::Reg(_))));
+        }
+    }
+}
