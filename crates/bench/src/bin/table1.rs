@@ -6,7 +6,9 @@
 //! that "integration verification" here means executable cross-layer
 //! checking rather than machine-checked proof.
 
-use bench::render_table;
+use bench::{counters_json, emit_json, json_mode, render_table, table_json};
+use lightbulb_system::integration::SystemConfig;
+use obs::json::Value;
 
 fn main() {
     let criteria = [
@@ -85,6 +87,16 @@ fn main() {
         .collect();
     let mut headers = vec!["criterion"];
     headers.extend(systems.iter().map(|(n, _)| *n));
+    if json_mode() {
+        // Alongside the static matrix, ship the telemetry of one default
+        // verified boot so the record carries measured counters too.
+        let run = SystemConfig::default().run(&[], 250_000);
+        let data = Value::obj()
+            .field("rows", table_json(&headers, &rows))
+            .field("counters", counters_json(&run.report.counters));
+        emit_json("table1", data);
+        return;
+    }
     print!(
         "{}",
         render_table(

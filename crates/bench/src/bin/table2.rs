@@ -5,7 +5,8 @@
 //! items, the table is checked by the compiler: if a parameter disappears
 //! or is renamed, this binary stops building.
 
-use bench::render_table;
+use bench::{emit_json, json_mode, render_table, table_json};
+use obs::json::Value;
 
 // The imports below ARE the verification that each listed parameter
 // exists with the stated role.
@@ -65,11 +66,17 @@ fn main() {
             "shared combinational processor::alu over riscv_spec::Instruction".to_string(),
         ],
     ];
+    let headers = ["Parameter", "Used in (paper)", "Realized here as"];
+    if json_mode() {
+        let data = Value::obj().field("rows", table_json(&headers, &rows));
+        emit_json("table2", data);
+        return;
+    }
     print!(
         "{}",
         render_table(
             "Table 2: parameterization throughout the stack",
-            &["Parameter", "Used in (paper)", "Realized here as"],
+            &headers,
             &rows
         )
     );

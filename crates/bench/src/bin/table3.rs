@@ -7,7 +7,8 @@
 //! checking substrate itself. Line counts are measured live from the
 //! workspace.
 
-use bench::{count_file, render_table, workspace_root};
+use bench::{count_file, emit_json, json_mode, render_table, table_json, workspace_root};
+use obs::json::Value;
 
 fn main() {
     let root = workspace_root();
@@ -70,11 +71,19 @@ fn main() {
         "~569".into(),
     ]);
 
+    let headers = ["component", "LoC", "file", "paper's corresponding row"];
+    if json_mode() {
+        let data = Value::obj()
+            .field("rows", table_json(&headers, &table))
+            .field("total_spec_loc", Value::UInt(u64::from(total)));
+        emit_json("table3", data);
+        return;
+    }
     print!(
         "{}",
         render_table(
             "Table 3: trusted code base (lines of spec-role code, measured)",
-            &["component", "LoC", "file", "paper's corresponding row"],
+            &headers,
             &table
         )
     );

@@ -9,7 +9,8 @@
 //! lines (compare the paper's §7.3.2 discussion of accidental proof
 //! complexity).
 
-use bench::{count_dir, render_table, workspace_root, Loc};
+use bench::{count_dir, emit_json, json_mode, render_table, table_json, workspace_root, Loc};
+use obs::json::Value;
 
 fn main() {
     let root = workspace_root();
@@ -89,17 +90,26 @@ fn main() {
         "paper: ~2.5k impl, ~23k proof (~10×)".to_string(),
     ]);
 
+    let headers = [
+        "layer",
+        "implementation",
+        "checking (tests)",
+        "overhead",
+        "paper correspondence",
+    ];
+    if json_mode() {
+        let data = Value::obj()
+            .field("rows", table_json(&headers, &rows))
+            .field("impl_loc", Value::UInt(u64::from(grand.code)))
+            .field("checking_loc", Value::UInt(u64::from(total_checking)));
+        emit_json("table4", data);
+        return;
+    }
     print!(
         "{}",
         render_table(
             "Table 4: lines of code per layer (measured)",
-            &[
-                "layer",
-                "implementation",
-                "checking (tests)",
-                "overhead",
-                "paper correspondence"
-            ],
+            &headers,
             &rows
         )
     );

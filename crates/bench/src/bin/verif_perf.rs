@@ -8,12 +8,13 @@
 
 use std::time::Instant;
 
-use bench::render_table;
+use bench::{emit_json, json_mode, render_table};
 use lightbulb_system::devices::{Board, SpiConfig, TrafficGen};
 use lightbulb_system::integration::differential::{check_compiler_differential, DiffError};
 use lightbulb_system::integration::progen::ProgGen;
 use lightbulb_system::integration::{build_image, end_to_end_lightbulb, SystemConfig};
 use lightbulb_system::processor::{check_refinement, PipelineConfig};
+use obs::json::Value;
 
 fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let t0 = Instant::now();
@@ -23,6 +24,8 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 
 fn main() {
     let mut rows = Vec::new();
+    // (name, seconds, work) — the numeric twin of `rows` for `--json`.
+    let mut measured: Vec<(&str, f64, String)> = Vec::new();
 
     // 1. End-to-end check: boot + 2 packets + trace matching.
     let mut gen = TrafficGen::new(7);
@@ -44,6 +47,14 @@ fn main() {
             report.events_checked, report.run.cycles
         ),
     ]);
+    measured.push((
+        "end_to_end",
+        secs,
+        format!(
+            "{} events, {} cycles",
+            report.events_checked, report.run.cycles
+        ),
+    ));
 
     // 2. Processor refinement over the booted system.
     let image = build_image(&SystemConfig::default());
@@ -65,6 +76,7 @@ fn main() {
         format!("{secs:.2} s"),
         format!("{} events matched", r.events),
     ]);
+    measured.push(("refinement", secs, format!("{} events matched", r.events)));
 
     // 3. Compiler differential batch.
     let (n, secs) = timed(|| {
@@ -83,6 +95,7 @@ fn main() {
         format!("{secs:.2} s"),
         format!("{n} conclusive"),
     ]);
+    measured.push(("compiler_differential", secs, format!("{n} conclusive")));
 
     // 4. Symbolic-execution obligations (driver-style fragments).
     let (obs, secs) = timed(|| {
@@ -125,7 +138,23 @@ fn main() {
         format!("{secs:.2} s"),
         format!("{obs} obligations discharged"),
     ]);
+    measured.push(("symexec", secs, format!("{obs} obligations discharged")));
 
+    if json_mode() {
+        let checks = Value::Arr(
+            measured
+                .iter()
+                .map(|(name, secs, work)| {
+                    Value::obj()
+                        .field("check", Value::Str((*name).to_string()))
+                        .field("seconds", Value::Float(*secs))
+                        .field("work", Value::Str(work.clone()))
+                })
+                .collect(),
+        );
+        emit_json("verif_perf", Value::obj().field("checks", checks));
+        return;
+    }
     print!(
         "{}",
         render_table(

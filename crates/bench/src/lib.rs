@@ -22,6 +22,7 @@
 use lightbulb_system::devices::{Board, TrafficGen};
 use lightbulb_system::integration::{build_image, ProcessorKind, SystemConfig};
 use lightbulb_system::processor::{Pipelined, SingleCycle};
+use obs::json::Value;
 use riscv_spec::MmioEventKind;
 use std::fmt::Write as _;
 use std::fs;
@@ -135,6 +136,66 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     out
 }
 
+/// True when the binary was invoked with `--json`: emit a machine-readable
+/// record (via [`emit_json`]) instead of the human table.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// The machine-readable twin of [`render_table`]: each row becomes an
+/// object keyed by the column headers.
+pub fn table_json(headers: &[&str], rows: &[Vec<String>]) -> Value {
+    Value::Arr(
+        rows.iter()
+            .map(|row| {
+                let mut obj = Value::obj();
+                for (h, cell) in headers.iter().zip(row) {
+                    obj = obj.field(h, Value::Str(cell.clone()));
+                }
+                obj
+            })
+            .collect(),
+    )
+}
+
+/// A [`obs::Counters`] registry as a JSON object, name → value, in the
+/// registry's (lexicographic) order.
+pub fn counters_json(c: &obs::Counters) -> Value {
+    Value::Obj(
+        c.iter()
+            .map(|(name, value)| (name.to_string(), Value::UInt(value)))
+            .collect(),
+    )
+}
+
+/// Wraps `data` in the `BENCH_*.json` record envelope (schema tag, bench
+/// name) without printing or writing anything.
+pub fn json_record(bin: &str, data: Value) -> Value {
+    Value::obj()
+        .field("schema", Value::Str("bench-report/v1".into()))
+        .field("bench", Value::Str(bin.into()))
+        .field("data", data)
+}
+
+/// Emits one bench record: prints it to stdout as a single JSON document
+/// and writes it to `BENCH_<bin>.json` at the workspace root. The rendered
+/// text is parsed back with [`obs::json::parse`] first — a bench must
+/// never publish an invalid record.
+///
+/// # Panics
+///
+/// Panics if the rendered document fails to re-parse (an `obs::json` bug,
+/// not an input error).
+pub fn emit_json(bin: &str, data: Value) {
+    let text = json_record(bin, data).render();
+    obs::json::parse(&text).unwrap_or_else(|e| panic!("{bin}: emitted invalid JSON: {e}"));
+    println!("{text}");
+    let path = workspace_root().join(format!("BENCH_{bin}.json"));
+    if let Err(e) = fs::write(&path, format!("{text}\n")) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
 /// One latency measurement: packet handover → GPIO actuation.
 #[derive(Clone, Copy, Debug)]
 pub struct LatencyReport {
@@ -243,6 +304,16 @@ mod tests {
     fn workspace_root_is_found() {
         assert!(workspace_root().join("Cargo.toml").exists());
         assert!(workspace_root().join("DESIGN.md").exists());
+    }
+
+    #[test]
+    fn json_records_round_trip() {
+        let data = table_json(&["name", "value"], &[vec!["stalls".into(), "17".into()]]);
+        let text = json_record("demo", data).render();
+        let doc = obs::json::parse(&text).unwrap();
+        assert_eq!(doc.get("bench").unwrap().as_str(), Some("demo"));
+        let rows = doc.get("data").unwrap().as_arr().unwrap();
+        assert_eq!(rows[0].get("value").unwrap().as_str(), Some("17"));
     }
 
     #[test]

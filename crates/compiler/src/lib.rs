@@ -50,12 +50,13 @@ pub mod opt;
 pub mod regalloc;
 pub mod rv32;
 
-pub use link::{CompileOptions, CompiledProgram, Entry};
+pub use link::{CompileOptions, CompileStats, CompiledProgram, Entry};
 pub use regalloc::Loc;
 pub use rv32::{CompileError, ExtCallCompiler, ExtEmitter, MmioExtCompiler, NoExtCompiler};
 
 use bedrock2::ast::Program;
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Compiles a Bedrock2 program to a linked RV32IM boot image.
 ///
@@ -73,14 +74,19 @@ pub fn compile(
     ext: &dyn ExtCallCompiler,
     opts: &CompileOptions,
 ) -> Result<CompiledProgram, CompileError> {
+    let mut stats = CompileStats::default();
+    let micros = |t: Instant| t.elapsed().as_micros() as u64;
+
     // Well-formedness first (the paper's compiler relies on the program
     // logic having established this; a library must check).
+    let t = Instant::now();
     if let Some(problem) = prog.check().into_iter().next() {
         if problem.contains("recursive") {
             return Err(CompileError::Recursion(problem));
         }
         return Err(CompileError::UnknownFunction(problem));
     }
+    stats.check_micros = micros(t);
 
     // Entry functions must take no parameters.
     let entry_names: Vec<&str> = match &opts.entry {
@@ -99,14 +105,21 @@ pub fn compile(
     }
 
     let prog = if opts.optimize {
-        opt::optimize_program(prog)
+        let t = Instant::now();
+        let optimized = opt::optimize_program(prog);
+        stats.opt_micros = micros(t);
+        optimized
     } else {
         prog.clone()
     };
 
+    let t = Instant::now();
     let flat = flatten::flatten_program(&prog);
+    stats.flatten_micros = micros(t);
+
     let mut codes = BTreeMap::new();
     for (name, f) in &flat.functions {
+        let t = Instant::now();
         let alloc = if opts.spill_everything {
             regalloc::allocate_spill_all(f)
         } else {
@@ -116,11 +129,23 @@ pub fn compile(
             regalloc::verify_allocation(f, &alloc).is_ok(),
             "register allocation failed its own verification for {name}"
         );
+        stats.regalloc_micros += micros(t);
+        stats.spill_slots += u64::from(alloc.nspills);
+
+        let t = Instant::now();
         let rf = regalloc::apply_allocation(f, &alloc);
         let code = rv32::compile_function(&rf, &alloc.used_regs, alloc.nspills, ext)?;
+        stats.codegen_micros += micros(t);
+        stats.functions += 1;
         codes.insert(name.clone(), code);
     }
-    link::link(codes, opts)
+
+    let t = Instant::now();
+    let mut image = link::link(codes, opts)?;
+    stats.link_micros = micros(t);
+    stats.instructions = image.insts.len() as u64;
+    image.stats = stats;
+    Ok(image)
 }
 
 #[cfg(test)]

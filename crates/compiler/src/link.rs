@@ -15,6 +15,7 @@
 //! memory" (§5.3).
 
 use crate::rv32::{AsmInst, CompileError, FnCode, Label};
+use obs::Counters;
 use riscv_spec::{Instruction, Reg};
 use std::collections::{BTreeMap, HashMap};
 
@@ -72,6 +73,48 @@ impl Default for CompileOptions {
     }
 }
 
+/// Per-compilation statistics: wall time of each pass and code-size /
+/// register-allocation outcomes. Exported as `compiler.*` counters by
+/// [`CompileStats::counters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Wall time of well-formedness checking, in microseconds.
+    pub check_micros: u64,
+    /// Wall time of the optimization pipeline (0 when disabled).
+    pub opt_micros: u64,
+    /// Wall time of flattening to FlatImp.
+    pub flatten_micros: u64,
+    /// Wall time of register allocation, summed over functions.
+    pub regalloc_micros: u64,
+    /// Wall time of RV32 code generation, summed over functions.
+    pub codegen_micros: u64,
+    /// Wall time of layout + linking.
+    pub link_micros: u64,
+    /// Stack spill slots allocated, summed over functions.
+    pub spill_slots: u64,
+    /// Functions compiled.
+    pub functions: u64,
+    /// Instructions in the linked image.
+    pub instructions: u64,
+}
+
+impl CompileStats {
+    /// Exports the stats as `compiler.*` named counters.
+    pub fn counters(&self) -> Counters {
+        let mut c = Counters::new();
+        c.set("compiler.pass.check_micros", self.check_micros);
+        c.set("compiler.pass.opt_micros", self.opt_micros);
+        c.set("compiler.pass.flatten_micros", self.flatten_micros);
+        c.set("compiler.pass.regalloc_micros", self.regalloc_micros);
+        c.set("compiler.pass.codegen_micros", self.codegen_micros);
+        c.set("compiler.pass.link_micros", self.link_micros);
+        c.set("compiler.regalloc.spill_slots", self.spill_slots);
+        c.set("compiler.code.functions", self.functions);
+        c.set("compiler.code.instructions", self.instructions);
+        c
+    }
+}
+
 /// A fully linked program image.
 #[derive(Clone, Debug)]
 pub struct CompiledProgram {
@@ -88,6 +131,8 @@ pub struct CompiledProgram {
     /// "always eventually back at the loop invariant" (§5.2) — watches the
     /// pc return here.
     pub event_loop_head: Option<u32>,
+    /// Pass timings and code-size statistics for this compilation.
+    pub stats: CompileStats,
 }
 
 impl CompiledProgram {
@@ -319,6 +364,7 @@ pub fn link(
         stack_top: opts.stack_top,
         max_stack_usage,
         event_loop_head,
+        stats: CompileStats::default(),
     })
 }
 

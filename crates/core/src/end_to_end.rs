@@ -21,7 +21,14 @@ use riscv_spec::MmioEvent;
 pub enum EndToEndError {
     /// The machine aborted (software-contract violation on the spec
     /// machine).
-    MachineError(String),
+    MachineError {
+        /// The spec machine's error message.
+        error: String,
+        /// Cycles (retired instructions) executed before the abort.
+        cycles: u64,
+        /// The pc at the abort.
+        pc: u32,
+    },
     /// The trace is not a prefix of any `goodHlTrace` member.
     SpecViolation {
         /// Length of the longest matching prefix.
@@ -43,7 +50,12 @@ pub enum EndToEndError {
 impl std::fmt::Display for EndToEndError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EndToEndError::MachineError(e) => write!(f, "machine error: {e}"),
+            EndToEndError::MachineError { error, cycles, pc } => {
+                write!(
+                    f,
+                    "machine error after {cycles} cycles at pc 0x{pc:08x}: {error}"
+                )
+            }
             EndToEndError::SpecViolation {
                 matched,
                 total,
@@ -94,7 +106,11 @@ pub fn end_to_end_lightbulb(
 ) -> Result<IntegrationReport, EndToEndError> {
     let run = config.run(frames, max_cycles);
     if let Some(e) = &run.error {
-        return Err(EndToEndError::MachineError(e.clone()));
+        return Err(EndToEndError::MachineError {
+            error: e.clone(),
+            cycles: run.cycles,
+            pc: run.report.final_pc,
+        });
     }
     let spec = good_hl_trace(config.driver);
     if !spec.matches_prefix(&run.events) {

@@ -39,4 +39,4 @@ pub mod system;
 pub use differential::{check_compiler_differential, check_isa_consistency, DiffError};
 pub use end_to_end::{end_to_end_lightbulb, EndToEndError, IntegrationReport};
 pub use liveness::{check_event_loop_liveness, LivenessError, LivenessReport};
-pub use system::{build_image, LightbulbRun, ProcessorKind, SystemConfig};
+pub use system::{build_image, LightbulbRun, ProcessorKind, RunReport, SystemConfig};

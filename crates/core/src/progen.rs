@@ -89,13 +89,12 @@ impl ProgGen {
                     0 => lit(self.rng.random_range(0..16)),
                     1 => lit(self.rng.random_range(0..4096)),
                     2 => lit(self.rng.random()),
-                    _ => {
-                        lit([0, 1, u32::MAX, 0x8000_0000, 0x7FFF_FFFF][self.rng.random_range(0..5)])
-                    }
+                    _ => lit([0, 1, u32::MAX, 0x8000_0000, 0x7FFF_FFFF]
+                        [self.rng.random_range(0..5usize)]),
                 }
             }
             5 if depth > 0 => {
-                let size = [Size::One, Size::Two, Size::Four][self.rng.random_range(0..3)];
+                let size = [Size::One, Size::Two, Size::Four][self.rng.random_range(0..3usize)];
                 Expr::Load(size, Box::new(lit(self.scratch_addr(size))))
             }
             _ if depth > 0 => {
@@ -127,7 +126,7 @@ impl ProgGen {
             }
             // Store into the scratch region.
             5 => {
-                let size = [Size::One, Size::Two, Size::Four][self.rng.random_range(0..3)];
+                let size = [Size::One, Size::Two, Size::Four][self.rng.random_range(0..3usize)];
                 let addr = self.scratch_addr(size);
                 Stmt::Store(size, lit(addr), self.expr(vars, d))
             }
@@ -137,7 +136,7 @@ impl ProgGen {
             7 => {
                 let name = format!("v{}", vars.len());
                 vars.push(name.clone());
-                let off = self.rng.random_range(0..8) * 4;
+                let off = self.rng.random_range(0u32..8) * 4;
                 interact(&[&name], "MMIOREAD", [lit(DEBUG_BASE + off)])
             }
             // Branch.

@@ -10,6 +10,7 @@
 use bedrock2_compiler::{compile, CompileOptions, CompiledProgram, Entry, MmioExtCompiler};
 use devices::{Board, SpiConfig};
 use lightbulb::{lightbulb_program, DriverOptions};
+use obs::{Counters, Event, MemSink};
 use processor::{PipelineConfig, Pipelined, SingleCycle};
 use riscv_spec::{Memory, MmioEvent, SpecMachine};
 
@@ -82,6 +83,35 @@ pub fn build_image(config: &SystemConfig) -> CompiledProgram {
     compile(&program, &MmioExtCompiler, &opts).expect("lightbulb sources must compile")
 }
 
+/// Machine-readable telemetry of one system run, carried alongside the
+/// MMIO trace in [`LightbulbRun`].
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Counters aggregated from every instrumented layer, under the
+    /// `layer.component.metric` naming scheme: `compiler.*` (pass wall
+    /// times, code size, spill slots), `pipeline.*` or `spec.*` (whichever
+    /// machine model ran), and `board.*` (SPI wire and LAN9250 activity).
+    pub counters: Counters,
+    /// The final pc: fetch pc for the hardware models, architectural pc
+    /// for the spec machine.
+    pub final_pc: u32,
+    /// Structured trace events, non-empty only for traced runs
+    /// ([`SystemConfig::run_traced`]).
+    pub trace_events: Vec<Event>,
+}
+
+impl RunReport {
+    /// The plain-text counter summary (see [`obs::summary`]).
+    pub fn summary(&self) -> String {
+        obs::summary::render(&self.counters)
+    }
+
+    /// The trace events as Chrome trace-event JSON, for Perfetto.
+    pub fn chrome_trace(&self) -> String {
+        obs::chrome::render(&self.trace_events)
+    }
+}
+
 /// The outcome of one system run.
 #[derive(Clone, Debug)]
 pub struct LightbulbRun {
@@ -97,50 +127,112 @@ pub struct LightbulbRun {
     /// [`ProcessorKind::SpecMachine`], which checks the software
     /// contract).
     pub error: Option<String>,
+    /// Cross-layer telemetry for this run.
+    pub report: RunReport,
 }
 
 impl SystemConfig {
     /// Builds the system, injects `frames`, runs for up to `max_cycles`,
-    /// and reports.
+    /// and reports. The returned [`LightbulbRun::report`] aggregates
+    /// counters from every layer; its `trace_events` stay empty (use
+    /// [`SystemConfig::run_traced`] for those).
     pub fn run(&self, frames: &[Vec<u8>], max_cycles: u64) -> LightbulbRun {
+        self.run_inner(frames, max_cycles, None)
+    }
+
+    /// Like [`SystemConfig::run`], but on the pipelined core the run also
+    /// records structured trace events (redirects, `fence.i`, sampled IPC)
+    /// into [`RunReport::trace_events`] for the Chrome/Perfetto exporter.
+    /// The other machine models emit no events and run as [`run`].
+    ///
+    /// [`run`]: SystemConfig::run
+    pub fn run_traced(&self, frames: &[Vec<u8>], max_cycles: u64) -> LightbulbRun {
+        self.run_inner(frames, max_cycles, Some(MemSink::default()))
+    }
+
+    fn run_inner(
+        &self,
+        frames: &[Vec<u8>],
+        max_cycles: u64,
+        sink: Option<MemSink>,
+    ) -> LightbulbRun {
         let image = build_image(self);
+        let mut report = RunReport {
+            counters: image.stats.counters(),
+            ..RunReport::default()
+        };
         let mut board = Board::new(self.spi);
         for f in frames {
             board.inject_frame(f);
         }
         match self.processor {
-            ProcessorKind::Pipelined => {
-                let mut cpu = Pipelined::new(&image.bytes(), self.ram_bytes, board, self.pipeline);
+            ProcessorKind::Pipelined if sink.is_some() => {
+                let mut cpu = Pipelined::with_sink(
+                    &image.bytes(),
+                    self.ram_bytes,
+                    board,
+                    self.pipeline,
+                    sink.unwrap_or_default(),
+                );
                 cpu.run(max_cycles);
+                report.counters.merge(&cpu.counters());
+                report.counters.merge(&cpu.mem.mmio.counters());
+                report.final_pc = cpu.fetch_pc();
+                report.trace_events = std::mem::take(&mut cpu.sink.events);
                 LightbulbRun {
                     events: cpu.mem.events(),
                     bulb_history: cpu.mem.mmio.gpio.lightbulb_history(),
                     bulb_on: cpu.mem.mmio.lightbulb_on(),
                     cycles: cpu.cycle,
                     error: None,
+                    report,
+                }
+            }
+            ProcessorKind::Pipelined => {
+                let mut cpu = Pipelined::new(&image.bytes(), self.ram_bytes, board, self.pipeline);
+                cpu.run(max_cycles);
+                report.counters.merge(&cpu.counters());
+                report.counters.merge(&cpu.mem.mmio.counters());
+                report.final_pc = cpu.fetch_pc();
+                LightbulbRun {
+                    events: cpu.mem.events(),
+                    bulb_history: cpu.mem.mmio.gpio.lightbulb_history(),
+                    bulb_on: cpu.mem.mmio.lightbulb_on(),
+                    cycles: cpu.cycle,
+                    error: None,
+                    report,
                 }
             }
             ProcessorKind::SingleCycle => {
                 let mut cpu = SingleCycle::new(&image.bytes(), self.ram_bytes, board);
                 cpu.run(max_cycles);
+                report.counters.merge(&cpu.mem.mmio.counters());
+                report.counters.set("pipeline.cycles", cpu.cycle);
+                report.counters.set("pipeline.retired", cpu.retired);
+                report.final_pc = cpu.pc;
                 LightbulbRun {
                     events: cpu.mem.events(),
                     bulb_history: cpu.mem.mmio.gpio.lightbulb_history(),
                     bulb_on: cpu.mem.mmio.lightbulb_on(),
                     cycles: cpu.cycle,
                     error: None,
+                    report,
                 }
             }
             ProcessorKind::SpecMachine => {
                 let mut m = SpecMachine::new(Memory::with_size(self.ram_bytes), board);
                 m.load_program(0, &image.words());
                 let error = m.run(max_cycles).err().map(|e| e.to_string());
+                report.counters.merge(&m.stats.counters());
+                report.counters.merge(&m.mmio.counters());
+                report.final_pc = m.pc;
                 LightbulbRun {
                     events: m.trace.clone(),
                     bulb_history: m.mmio.gpio.lightbulb_history(),
                     bulb_on: m.mmio.lightbulb_on(),
                     cycles: m.instret,
                     error,
+                    report,
                 }
             }
         }

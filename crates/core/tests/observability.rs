@@ -1,0 +1,105 @@
+//! Cross-layer telemetry checks on real system runs: the counters a run
+//! reports must be *accountable* — stalls, flushes, and retirements have
+//! to add back up to the cycle total — and the traced variant must yield
+//! a Perfetto-loadable document.
+
+use integration::{ProcessorKind, SystemConfig};
+
+const BOOT: u64 = 250_000;
+
+/// Each pipeline cycle is spent exactly one way: retiring an instruction,
+/// stalling in decode, or as a flush bubble (squashes ride along with a
+/// later retirement/stall). Only the initial pipeline fill is outside the
+/// books, so the sum must land within a handful of cycles of the total.
+#[test]
+fn pipeline_counters_account_for_every_cycle() {
+    let run = SystemConfig::default().run(&[], BOOT);
+    assert!(run.error.is_none());
+    let c = &run.report.counters;
+
+    assert_eq!(c.get("pipeline.cycles"), run.cycles);
+    assert_eq!(
+        c.get("pipeline.stall.total"),
+        c.get("pipeline.stall.raw") + c.get("pipeline.stall.waw")
+    );
+    assert!(c.get("pipeline.flush.total") >= c.get("pipeline.flush.mispredict"));
+
+    let accounted = c.get("pipeline.retired")
+        + c.get("pipeline.stall.total")
+        + c.get("pipeline.squashed")
+        + c.get("pipeline.flush.total");
+    const FILL_SLACK: u64 = 8;
+    assert!(
+        accounted <= run.cycles,
+        "over-accounted: {accounted} > {} cycles",
+        run.cycles
+    );
+    assert!(
+        accounted + FILL_SLACK >= run.cycles,
+        "unaccounted cycles: {accounted} + {FILL_SLACK} < {}",
+        run.cycles
+    );
+
+    // The BTB is consulted once per resolved control-flow instruction, so
+    // its hit+miss total is bounded by what fetch supplied.
+    assert!(
+        c.get("pipeline.btb.hit") + c.get("pipeline.btb.miss") <= c.get("pipeline.icache.fetch")
+    );
+}
+
+#[test]
+fn a_traced_run_exports_a_valid_chrome_trace() {
+    let run = SystemConfig::default().run_traced(&[], BOOT);
+    assert!(run.error.is_none());
+    let events = &run.report.trace_events;
+    assert!(!events.is_empty(), "a boot has redirects and IPC samples");
+    assert!(
+        events.windows(2).all(|w| w[0].ts <= w[1].ts),
+        "events must be emitted in timestamp order"
+    );
+
+    let doc = obs::json::parse(&run.report.chrome_trace()).expect("exporter emits valid JSON");
+    let items = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    assert_eq!(items.len(), events.len());
+
+    // The untraced run reports identical counters — tracing only adds the
+    // event stream, never changes the machine. Compiler pass wall times
+    // are the one nondeterministic family; skip those.
+    let plain = SystemConfig::default().run(&[], BOOT);
+    let deterministic = |c: &obs::Counters| {
+        c.iter()
+            .filter(|(name, _)| !name.ends_with("_micros"))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        deterministic(&plain.report.counters),
+        deterministic(&run.report.counters)
+    );
+    assert!(plain.report.trace_events.is_empty());
+}
+
+#[test]
+fn every_machine_model_reports_its_layer_counters() {
+    for (kind, prefix) in [
+        (ProcessorKind::Pipelined, "pipeline.cycles"),
+        (ProcessorKind::SingleCycle, "pipeline.cycles"),
+        (ProcessorKind::SpecMachine, "spec.retired.alu"),
+    ] {
+        let config = SystemConfig {
+            processor: kind,
+            ..SystemConfig::default()
+        };
+        let run = config.run(&[], BOOT);
+        assert!(run.error.is_none(), "{kind:?}");
+        let c = &run.report.counters;
+        assert!(c.get(prefix) > 0, "{kind:?} must report {prefix}");
+        assert!(c.get("board.ticks") > 0, "{kind:?} must report board time");
+        assert!(
+            c.get("compiler.code.instructions") > 0,
+            "{kind:?} must carry compile stats"
+        );
+        assert_ne!(run.report.final_pc, 0, "{kind:?} must report a final pc");
+        let summary = run.report.summary();
+        assert!(summary.contains("[board]"), "{kind:?}: {summary}");
+    }
+}

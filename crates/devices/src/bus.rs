@@ -10,6 +10,7 @@
 use crate::gpio::Gpio;
 use crate::lan9250::Lan9250;
 use crate::spi::{Spi, SpiConfig};
+use obs::Counters;
 use riscv_spec::{AccessSize, MmioHandler};
 
 /// Base address of the GPIO block.
@@ -63,6 +64,29 @@ impl Board {
             (GPIO_BASE, GPIO_BASE + WINDOW),
             (SPI_BASE, SPI_BASE + WINDOW),
         ]
+    }
+
+    /// Exports the board's activity as `board.*` named counters.
+    pub fn counters(&self) -> Counters {
+        let mut c = Counters::new();
+        c.set("board.ticks", self.ticks);
+        c.set("board.spi.bytes_tx", self.spi.stats.bytes_tx);
+        c.set("board.spi.bytes_rx", self.spi.stats.bytes_rx);
+        c.set("board.spi.bytes_dropped", self.spi.stats.bytes_dropped);
+        c.set("board.spi.busy_ticks", self.spi.stats.busy_ticks);
+        c.set(
+            "board.lan9250.frames_delivered",
+            self.spi.slave.frames_delivered,
+        );
+        c.set(
+            "board.lan9250.frames_discarded",
+            self.spi.slave.frames_discarded,
+        );
+        c.set(
+            "board.lan9250.frames_pending",
+            self.spi.slave.frames_pending() as u64,
+        );
+        c
     }
 
     /// True when `addr` is inside one of the board's windows.

@@ -32,5 +32,5 @@ pub use bus::{Board, GPIO_BASE, SPI_BASE};
 pub use ethernet::{build_udp_frame, parse_udp_frame, FrameSpec, ParseError, ParsedUdp};
 pub use gpio::Gpio;
 pub use lan9250::Lan9250;
-pub use spi::{Spi, SpiConfig, SpiSlave};
+pub use spi::{Spi, SpiConfig, SpiSlave, SpiStats};
 pub use workload::{Malformation, TrafficGen};

@@ -59,11 +59,27 @@ impl Default for SpiConfig {
     }
 }
 
+/// Wire-level statistics, exported as `board.spi.*` counters by
+/// [`crate::Board::counters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpiStats {
+    /// Bytes software enqueued into TXDATA (accepted, not dropped).
+    pub bytes_tx: u64,
+    /// Bytes software popped out of RXDATA.
+    pub bytes_rx: u64,
+    /// TXDATA writes dropped because the queue was full.
+    pub bytes_dropped: u64,
+    /// Device ticks the wire spent occupied by a transfer.
+    pub busy_ticks: u64,
+}
+
 /// The SPI controller with an attached slave.
 #[derive(Clone, Debug)]
 pub struct Spi<S> {
     /// The attached peripheral (the LAN9250 in the lightbulb system).
     pub slave: S,
+    /// Wire-level statistics.
+    pub stats: SpiStats,
     tx: VecDeque<u8>,
     rx: VecDeque<u8>,
     in_flight: Option<u8>,
@@ -78,6 +94,7 @@ impl<S: SpiSlave> Spi<S> {
     pub fn new(slave: S, config: SpiConfig) -> Spi<S> {
         Spi {
             slave,
+            stats: SpiStats::default(),
             tx: VecDeque::new(),
             rx: VecDeque::new(),
             in_flight: None,
@@ -95,7 +112,10 @@ impl<S: SpiSlave> Spi<S> {
             CSMODE => self.cs_active as u32,
             TXDATA if self.tx.len() >= FIFO_DEPTH => FLAG,
             RXDATA => match self.rx.pop_front() {
-                Some(b) => b as u32,
+                Some(b) => {
+                    self.stats.bytes_rx += 1;
+                    b as u32
+                }
                 None => FLAG,
             },
             _ => 0,
@@ -115,8 +135,10 @@ impl<S: SpiSlave> Spi<S> {
             }
             TXDATA if self.tx.len() < FIFO_DEPTH => {
                 self.tx.push_back(value as u8);
+                self.stats.bytes_tx += 1;
             }
             // Writes while full are dropped, as on real queues.
+            TXDATA => self.stats.bytes_dropped += 1,
             _ => {}
         }
     }
@@ -135,6 +157,7 @@ impl<S: SpiSlave> Spi<S> {
             }
         }
         if let Some(mosi) = self.in_flight {
+            self.stats.busy_ticks += 1;
             self.busy -= 1;
             if self.busy == 0 {
                 let miso = if self.cs_active {

@@ -1,0 +1,100 @@
+//! Structured trace events.
+
+/// What kind of mark an [`Event`] is, mirroring the Chrome trace-event
+/// phases the exporter emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// A point in time (`ph: "i"`).
+    Instant,
+    /// A span with an explicit duration (`ph: "X"`).
+    Complete {
+        /// Span length in timestamp units.
+        dur: u64,
+    },
+    /// A sampled counter value (`ph: "C"`).
+    Counter {
+        /// The sampled value.
+        value: u64,
+    },
+}
+
+/// One structured event.
+///
+/// Timestamps are whatever clock the emitting layer has — simulated cycles
+/// for the hardware models, retired instructions for the spec machine.
+/// The Chrome exporter reports them as microseconds (the trace viewer's
+/// native unit), which makes one viewer microsecond equal one cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Timestamp in the emitting layer's time unit.
+    pub ts: u64,
+    /// Event name (shown on the timeline). Static so that emitting an
+    /// event never allocates.
+    pub name: &'static str,
+    /// Category — by convention the layer prefix of the counter naming
+    /// scheme (`pipeline`, `spec`, `board`, `compiler`, `proglogic`).
+    pub cat: &'static str,
+    /// The phase/kind.
+    pub phase: Phase,
+    /// Optional numeric argument (e.g. an address, a stall length),
+    /// rendered into `args` by the exporter.
+    pub arg: Option<(&'static str, u64)>,
+}
+
+impl Event {
+    /// An instant event.
+    pub fn instant(ts: u64, cat: &'static str, name: &'static str) -> Event {
+        Event {
+            ts,
+            name,
+            cat,
+            phase: Phase::Instant,
+            arg: None,
+        }
+    }
+
+    /// A complete span `[ts, ts+dur]`.
+    pub fn span(ts: u64, dur: u64, cat: &'static str, name: &'static str) -> Event {
+        Event {
+            ts,
+            name,
+            cat,
+            phase: Phase::Complete { dur },
+            arg: None,
+        }
+    }
+
+    /// A counter sample.
+    pub fn counter(ts: u64, cat: &'static str, name: &'static str, value: u64) -> Event {
+        Event {
+            ts,
+            name,
+            cat,
+            phase: Phase::Counter { value },
+            arg: None,
+        }
+    }
+
+    /// Attaches a numeric argument.
+    #[must_use]
+    pub fn with_arg(mut self, key: &'static str, value: u64) -> Event {
+        self.arg = Some((key, value));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_the_phases() {
+        let i = Event::instant(5, "pipeline", "redirect");
+        assert_eq!(i.phase, Phase::Instant);
+        let s = Event::span(5, 10, "compiler", "regalloc");
+        assert_eq!(s.phase, Phase::Complete { dur: 10 });
+        let c = Event::counter(5, "pipeline", "ipc_x1000", 770).with_arg("window", 8192);
+        assert_eq!(c.phase, Phase::Counter { value: 770 });
+        assert_eq!(c.arg, Some(("window", 8192)));
+    }
+}

@@ -1,0 +1,109 @@
+//! A power-of-two bucketed histogram for latencies and sizes.
+
+/// Histogram with buckets `[0], [1], [2,3], [4,7], … [2^63, u64::MAX]`.
+///
+/// Bucket `i` (for `i >= 1`) covers values whose bit length is `i`, i.e.
+/// `2^(i-1) ..= 2^i - 1`; bucket 0 holds exact zeros. Recording is a
+/// `leading_zeros` and an array increment, cheap enough for per-event use
+/// (MMIO gaps, frame sizes), and the fixed 65-slot footprint (bit lengths
+/// 0 through 64) keeps the struct allocation-free.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Iterates non-empty buckets as `(lower_bound_inclusive, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_split_on_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.record(v);
+        }
+        let got: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(
+            got,
+            vec![(0, 1), (1, 1), (2, 2), (4, 2), (8, 1), (1 << 63, 1)]
+        );
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn mean_is_exact_when_no_saturation() {
+        let mut h = Histogram::new();
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,64 @@
+//! Plain-text counter report, grouped by layer.
+
+use crate::counters::Counters;
+
+/// Renders `counters` as an aligned text table, one section per layer
+/// prefix (the part of the name before the first `.`).
+///
+/// ```text
+/// [pipeline]
+///   pipeline.flush.redirect        3
+///   pipeline.stall.raw           120
+/// ```
+pub fn render(counters: &Counters) -> String {
+    if counters.is_empty() {
+        return "(no counters recorded)\n".to_string();
+    }
+    let width = counters
+        .iter()
+        .map(|(name, _)| name.len())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    let mut current_layer = "";
+    for (name, value) in counters.iter() {
+        let layer = name.split('.').next().unwrap_or(name);
+        if layer != current_layer {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!("[{layer}]\n"));
+            current_layer = layer;
+        }
+        out.push_str(&format!("  {name:<width$} {value:>12}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_by_layer_prefix() {
+        let mut c = Counters::new();
+        c.add("pipeline.stall.raw", 120);
+        c.add("pipeline.flush.redirect", 3);
+        c.add("spec.retired.total", 900);
+        let text = render(&c);
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines[0], "[pipeline]");
+        assert!(lines[1].contains("pipeline.flush.redirect"));
+        assert!(lines[2].contains("pipeline.stall.raw"));
+        assert!(lines.contains(&""));
+        assert!(text.contains("[spec]"));
+        let last = lines.last().unwrap();
+        assert!(last.starts_with("  spec.retired.total"));
+        assert!(last.ends_with(" 900"));
+    }
+
+    #[test]
+    fn empty_registry_renders_placeholder() {
+        assert_eq!(render(&Counters::new()), "(no counters recorded)\n");
+    }
+}

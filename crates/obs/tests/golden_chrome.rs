@@ -1,0 +1,45 @@
+//! Golden-file test for the Chrome trace-event exporter.
+//!
+//! The exporter's output is consumed by external viewers (Perfetto,
+//! `chrome://tracing`), so its exact shape is a compatibility contract,
+//! not an implementation detail: field order, phase letters, and the
+//! counter `args` convention must not drift. The expected text lives in
+//! `tests/golden/chrome_trace.json`; if a change is intentional, update
+//! the golden file and re-check it loads in Perfetto.
+
+use obs::{chrome, json, Event};
+
+fn fixture() -> Vec<Event> {
+    vec![
+        Event::instant(100, "pipeline", "redirect").with_arg("next_pc", 0x104),
+        Event::instant(250, "pipeline", "fence_i"),
+        Event::span(300, 42, "compiler", "regalloc"),
+        Event::counter(4096, "pipeline", "ipc_x1000", 770),
+        Event::instant(5000, "pipeline", "halt").with_arg("retired", 3500),
+    ]
+}
+
+#[test]
+fn chrome_trace_matches_the_golden_file() {
+    let got = chrome::render(&fixture());
+    let want = include_str!("golden/chrome_trace.json");
+    assert_eq!(
+        got,
+        want.trim_end(),
+        "Chrome trace output drifted from tests/golden/chrome_trace.json"
+    );
+}
+
+#[test]
+fn the_golden_file_itself_is_valid_json_with_the_expected_shape() {
+    let doc = json::parse(include_str!("golden/chrome_trace.json").trim_end()).unwrap();
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    assert_eq!(events.len(), fixture().len());
+    for ev in events {
+        assert!(ev.get("name").unwrap().as_str().is_some());
+        assert!(ev.get("ts").unwrap().as_f64().is_some());
+        let ph = ev.get("ph").unwrap().as_str().unwrap();
+        assert!(matches!(ph, "i" | "X" | "C"), "unknown phase {ph:?}");
+    }
+    assert_eq!(doc.get("displayTimeUnit").unwrap().as_str(), Some("ns"));
+}

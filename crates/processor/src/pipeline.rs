@@ -27,7 +27,12 @@ use crate::btb::Btb;
 use crate::icache::ICache;
 use crate::memsys::MemSystem;
 use kami::{BeMemory, Fifo, RegFile, RuleBased, RuleOutcome, Scheduler, Scoreboard};
+use obs::{Counters, Event, NullSink, Sink};
 use riscv_spec::{decode, Instruction, MmioHandler};
+
+/// Cycles between sampled `pipeline.ipc_x1000` counter events when a
+/// tracing sink is attached.
+const IPC_SAMPLE_PERIOD: u64 = 4096;
 
 /// Configuration knobs (used by the BTB-ablation benchmark).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,15 +52,51 @@ impl Default for PipelineConfig {
     }
 }
 
-/// Performance counters.
+/// Performance counters, kept as plain fields so the hot loop pays one
+/// integer increment per event; [`PipelineStats::counters`] exports them
+/// under the `pipeline.*` naming scheme at reporting time.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PipelineStats {
-    /// Cycles ID spent stalled on the scoreboard.
+    /// Cycles ID spent stalled on the scoreboard (any cause).
     pub stalls: u64,
+    /// Stalls caused by a busy *source* register (read-after-write).
+    pub stalls_raw: u64,
+    /// Stalls caused only by a busy *destination* register
+    /// (write-after-write; the in-order WB port must not reorder).
+    pub stalls_waw: u64,
     /// Control-flow mispredictions (redirects).
     pub mispredicts: u64,
     /// Instructions squashed by epoch mismatch.
     pub squashed: u64,
+    /// Fetch-buffer flushes (every redirect clears IF→ID).
+    pub flushes: u64,
+    /// `fence.i` instruction-cache refills.
+    pub fencei_refills: u64,
+    /// Control-flow instructions whose predicted next pc was correct.
+    pub btb_hits: u64,
+    /// Control-flow instructions whose predicted next pc was wrong.
+    pub btb_misses: u64,
+    /// Instruction-cache fetches issued by IF (the I$ is eagerly filled,
+    /// so every fetch hits; refills happen only on `fence.i`).
+    pub icache_fetches: u64,
+}
+
+impl PipelineStats {
+    /// Exports the stats as `pipeline.*` named counters.
+    pub fn counters(&self) -> Counters {
+        let mut c = Counters::new();
+        c.set("pipeline.stall.total", self.stalls);
+        c.set("pipeline.stall.raw", self.stalls_raw);
+        c.set("pipeline.stall.waw", self.stalls_waw);
+        c.set("pipeline.flush.mispredict", self.mispredicts);
+        c.set("pipeline.flush.total", self.flushes);
+        c.set("pipeline.squashed", self.squashed);
+        c.set("pipeline.btb.hit", self.btb_hits);
+        c.set("pipeline.btb.miss", self.btb_misses);
+        c.set("pipeline.icache.fetch", self.icache_fetches);
+        c.set("pipeline.icache.refill", self.fencei_refills);
+        c
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -84,8 +125,13 @@ struct Executed {
 }
 
 /// The pipelined core.
+///
+/// `S` is the telemetry sink; the default [`NullSink`] monomorphizes every
+/// instrumentation site away (checked by the `obs_overhead` bench in
+/// `crates/bench`). Use [`Pipelined::with_sink`] to attach a recording
+/// sink such as [`obs::MemSink`].
 #[derive(Clone, Debug)]
-pub struct Pipelined<M> {
+pub struct Pipelined<M, S = NullSink> {
     fetch_pc: u32,
     epoch: bool,
     rf: RegFile,
@@ -105,12 +151,27 @@ pub struct Pipelined<M> {
     pub halted: bool,
     /// Performance counters.
     pub stats: PipelineStats,
+    /// Structured-event sink ([`NullSink`] unless built `with_sink`).
+    pub sink: S,
 }
 
 impl<M: MmioHandler> Pipelined<M> {
     /// Builds a core over a boot image placed at address 0. The instruction
     /// cache is eagerly filled from the image at reset (§5.5).
     pub fn new(image: &[u8], ram_bytes: u32, mmio: M, config: PipelineConfig) -> Pipelined<M> {
+        Pipelined::with_sink(image, ram_bytes, mmio, config, NullSink)
+    }
+}
+
+impl<M: MmioHandler, S: Sink> Pipelined<M, S> {
+    /// Like [`Pipelined::new`], but events go to `sink`.
+    pub fn with_sink(
+        image: &[u8],
+        ram_bytes: u32,
+        mmio: M,
+        config: PipelineConfig,
+        sink: S,
+    ) -> Pipelined<M, S> {
         let ram = BeMemory::from_image(image, ram_bytes);
         let icache = ICache::fill(&ram);
         Pipelined {
@@ -128,6 +189,7 @@ impl<M: MmioHandler> Pipelined<M> {
             retired: 0,
             halted: false,
             stats: PipelineStats::default(),
+            sink,
         }
     }
 
@@ -148,6 +210,15 @@ impl<M: MmioHandler> Pipelined<M> {
         }
         Scheduler::new().cycle(self);
         self.finish_cycle();
+        if S::ENABLED && self.cycle.is_multiple_of(IPC_SAMPLE_PERIOD) {
+            let ipc_x1000 = (self.retired * 1000) / self.cycle.max(1);
+            self.sink.emit(Event::counter(
+                self.cycle,
+                "pipeline",
+                "ipc_x1000",
+                ipc_x1000,
+            ));
+        }
     }
 
     /// Completes one cycle's bookkeeping (cycle counter, device time) after
@@ -165,6 +236,20 @@ impl<M: MmioHandler> Pipelined<M> {
             self.step_cycle();
         }
         self.cycle - start
+    }
+
+    /// The pc IF will fetch next — the closest thing a pipelined core has
+    /// to "the current pc" (in-flight instructions may be older).
+    pub fn fetch_pc(&self) -> u32 {
+        self.fetch_pc
+    }
+
+    /// Exports the `pipeline.*` counters, including cycle/retired totals.
+    pub fn counters(&self) -> Counters {
+        let mut c = self.stats.counters();
+        c.set("pipeline.cycles", self.cycle);
+        c.set("pipeline.retired", self.retired);
+        c
     }
 
     /// Instructions retired per cycle so far.
@@ -190,6 +275,12 @@ impl<M: MmioHandler> Pipelined<M> {
         self.retired += 1;
         if e.halt {
             self.halted = true;
+            if S::ENABLED {
+                self.sink.emit(
+                    Event::instant(self.cycle, "pipeline", "halt")
+                        .with_arg("retired", self.retired),
+                );
+            }
         }
         RuleOutcome::Fired
     }
@@ -218,19 +309,38 @@ impl<M: MmioHandler> Pipelined<M> {
         };
 
         let taken = out.next_pc != d.pc.wrapping_add(4);
-        if let Some(btb) = &mut self.btb {
-            if d.inst.is_control_flow() {
+        if d.inst.is_control_flow() {
+            if out.next_pc == d.pred_next {
+                self.stats.btb_hits += 1;
+            } else {
+                self.stats.btb_misses += 1;
+            }
+            if let Some(btb) = &mut self.btb {
                 btb.train(d.pc, out.next_pc, taken);
             }
         }
         if out.next_pc != d.pred_next || out.fence_i {
             if out.fence_i {
                 self.icache.refill(&self.mem.ram);
+                self.stats.fencei_refills += 1;
+                if S::ENABLED {
+                    self.sink.emit(
+                        Event::instant(self.cycle, "pipeline", "fence_i")
+                            .with_arg("pc", u64::from(d.pc)),
+                    );
+                }
             }
             self.stats.mispredicts += 1;
+            self.stats.flushes += 1;
             self.epoch = !self.epoch;
             self.fetch_pc = out.next_pc;
             self.f2d.clear();
+            if S::ENABLED {
+                self.sink.emit(
+                    Event::instant(self.cycle, "pipeline", "redirect")
+                        .with_arg("next_pc", u64::from(out.next_pc)),
+                );
+            }
         }
 
         self.e2w.enq(Executed {
@@ -252,10 +362,15 @@ impl<M: MmioHandler> Pipelined<M> {
             return RuleOutcome::Fired;
         }
         let inst = decode(f.word);
-        let hazard = inst.sources().iter().any(|r| self.sb.is_busy(r.index()))
-            || inst.dest().is_some_and(|r| self.sb.is_busy(r.index()));
-        if hazard {
+        let raw = inst.sources().iter().any(|r| self.sb.is_busy(r.index()));
+        let waw = inst.dest().is_some_and(|r| self.sb.is_busy(r.index()));
+        if raw || waw {
             self.stats.stalls += 1;
+            if raw {
+                self.stats.stalls_raw += 1;
+            } else {
+                self.stats.stalls_waw += 1;
+            }
             return RuleOutcome::NotReady;
         }
         let a = inst
@@ -284,6 +399,7 @@ impl<M: MmioHandler> Pipelined<M> {
         }
         let pc = self.fetch_pc;
         let word = self.icache.fetch(pc);
+        self.stats.icache_fetches += 1;
         let pred_next = match &mut self.btb {
             Some(btb) => btb.predict(pc),
             None => pc.wrapping_add(4),
@@ -299,7 +415,7 @@ impl<M: MmioHandler> Pipelined<M> {
     }
 }
 
-impl<M: MmioHandler> RuleBased for Pipelined<M> {
+impl<M: MmioHandler, S: Sink> RuleBased for Pipelined<M, S> {
     fn rules(&self) -> &'static [&'static str] {
         &["writeback", "execute", "decode", "fetch"]
     }

@@ -27,9 +27,12 @@ use crate::formula::Formula;
 use crate::solver::{self, Outcome};
 use crate::term::Term;
 use bedrock2::ast::{Expr, Program, Size, Stmt};
+use obs::Counters;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::time::Instant;
 
 /// Verification failure.
 #[derive(Clone, Debug)]
@@ -414,15 +417,37 @@ pub struct SymExec<'p, E> {
     /// functional postconditions usually still need real invariants.
     pub auto_invariants: bool,
     call_depth_limit: usize,
+    solver_queries: Cell<u64>,
+    solver_nanos: Cell<u64>,
 }
 
-/// Statistics from a successful verification.
+/// Statistics from a successful verification, exported as `proglogic.*`
+/// counters by [`VcReport::counters`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct VcReport {
     /// Symbolic paths fully explored.
     pub paths: usize,
     /// Obligations discharged by the solver.
     pub obligations: usize,
+    /// Feasible branch continuations explored at `if` forks.
+    pub branches: u64,
+    /// Solver queries issued (proofs and feasibility checks).
+    pub solver_queries: u64,
+    /// Total solver wall time, in microseconds.
+    pub solver_micros: u64,
+}
+
+impl VcReport {
+    /// Exports the report as `proglogic.*` named counters.
+    pub fn counters(&self) -> Counters {
+        let mut c = Counters::new();
+        c.set("proglogic.vc.paths", self.paths as u64);
+        c.set("proglogic.vc.obligations", self.obligations as u64);
+        c.set("proglogic.symexec.branches", self.branches);
+        c.set("proglogic.solver.queries", self.solver_queries);
+        c.set("proglogic.solver.micros", self.solver_micros);
+        c
+    }
 }
 
 impl<'p, E: ExtSpec> SymExec<'p, E> {
@@ -435,7 +460,29 @@ impl<'p, E: ExtSpec> SymExec<'p, E> {
             invariants: HashMap::new(),
             auto_invariants: false,
             call_depth_limit: 8,
+            solver_queries: Cell::new(0),
+            solver_nanos: Cell::new(0),
         }
+    }
+
+    /// Calls [`solver::prove`], accounting the query and its wall time.
+    fn solve(&self, assumptions: &[Formula], goal: &Formula) -> Outcome {
+        let t = Instant::now();
+        let out = solver::prove(assumptions, goal);
+        self.solver_nanos
+            .set(self.solver_nanos.get() + t.elapsed().as_nanos() as u64);
+        self.solver_queries.set(self.solver_queries.get() + 1);
+        out
+    }
+
+    /// Calls [`solver::contradictory`], accounting the query and its time.
+    fn infeasible(&self, path: &[Formula]) -> bool {
+        let t = Instant::now();
+        let out = solver::contradictory(path);
+        self.solver_nanos
+            .set(self.solver_nanos.get() + t.elapsed().as_nanos() as u64);
+        self.solver_queries.set(self.solver_queries.get() + 1);
+        out
     }
 
     /// Registers an invariant for the loop with static id `id` (ids are
@@ -468,6 +515,8 @@ impl<'p, E: ExtSpec> SymExec<'p, E> {
         for (p, a) in f.params.iter().zip(args) {
             st.locals.insert(p.clone(), a);
         }
+        self.solver_queries.set(0);
+        self.solver_nanos.set(0);
         let mut report = VcReport::default();
         let finals = self.exec(&f.body, vec![st], &loop_ids, 0, &mut report)?;
         for st in finals {
@@ -486,6 +535,8 @@ impl<'p, E: ExtSpec> SymExec<'p, E> {
             }
             report.paths += 1;
         }
+        report.solver_queries = self.solver_queries.get();
+        report.solver_micros = self.solver_nanos.get() / 1_000;
         Ok(report)
     }
 
@@ -496,7 +547,7 @@ impl<'p, E: ExtSpec> SymExec<'p, E> {
         context: &str,
         report: &mut VcReport,
     ) -> Result<(), VcError> {
-        match solver::prove(&st.path, goal) {
+        match self.solve(&st.path, goal) {
             Outcome::Proved => {
                 report.obligations += 1;
                 Ok(())
@@ -510,7 +561,7 @@ impl<'p, E: ExtSpec> SymExec<'p, E> {
 
     /// Proves a memory-safety obligation under the state's path condition.
     fn prove_mem(&self, st: &SymState, goal: &Formula, context: &str) -> Result<(), VcError> {
-        match solver::prove(&st.path, goal) {
+        match self.solve(&st.path, goal) {
             Outcome::Proved => Ok(()),
             Outcome::Unknown => Err(VcError::ProofFailed {
                 goal: format!("{goal:?}"),
@@ -653,12 +704,14 @@ impl<'p, E: ExtSpec> SymExec<'p, E> {
                 let mut branches = Vec::new();
                 let mut st_t = st.clone();
                 st_t.assume(tf.clone());
-                if !solver::contradictory(&st_t.path) {
+                if !self.infeasible(&st_t.path) {
+                    report.branches += 1;
                     branches.extend(self.exec1(t, st_t, loop_ids, depth, report)?);
                 }
                 let mut st_f = st;
                 st_f.assume(tf.negate());
-                if !solver::contradictory(&st_f.path) {
+                if !self.infeasible(&st_f.path) {
+                    report.branches += 1;
                     branches.extend(self.exec1(e, st_f, loop_ids, depth, report)?);
                 }
                 Ok(branches)
@@ -773,12 +826,12 @@ impl<'p, E: ExtSpec> SymExec<'p, E> {
                 let tf = Formula::truthy(&ct);
                 let mut exit = st.clone();
                 exit.assume(tf.clone().negate());
-                if !solver::contradictory(&exit.path) {
+                if !self.infeasible(&exit.path) {
                     done.push(exit);
                 }
                 let mut again = st;
                 again.assume(tf);
-                if !solver::contradictory(&again.path) {
+                if !self.infeasible(&again.path) {
                     next.extend(self.exec1(body, again, loop_ids, depth, report)?);
                 }
             }
@@ -815,7 +868,7 @@ impl<'p, E: ExtSpec> SymExec<'p, E> {
         // 3. Preservation: body re-establishes the invariant.
         let mut iter = st.clone();
         iter.assume(tf.clone());
-        if !solver::contradictory(&iter.path) {
+        if !self.infeasible(&iter.path) {
             for body_final in self.exec1(body, iter, loop_ids, depth, report)? {
                 for goal in (inv.holds)(&body_final) {
                     self.discharge(&body_final, &goal, "loop invariant (preservation)", report)?;

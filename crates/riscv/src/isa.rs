@@ -147,6 +147,26 @@ pub enum Instruction {
     Invalid { word: u32 },
 }
 
+/// Broad instruction classes, used for the spec machine's retired-mix
+/// counters (`spec.retired.*`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Integer ALU ops, including `lui`/`auipc` and immediates.
+    Alu,
+    /// M-extension multiply/divide.
+    MulDiv,
+    /// Memory loads.
+    Load,
+    /// Memory stores.
+    Store,
+    /// Conditional branches.
+    Branch,
+    /// `jal`/`jalr`.
+    Jump,
+    /// Fences, `ecall`/`ebreak`, and undecodable words.
+    System,
+}
+
 impl Instruction {
     /// A canonical no-op (`addi x0, x0, 0`).
     pub const NOP: Instruction = Instruction::Addi {
@@ -209,6 +229,29 @@ impl Instruction {
             Ecall => "ecall",
             Ebreak => "ebreak",
             Invalid { .. } => ".word",
+        }
+    }
+
+    /// The broad class of this instruction, for retired-mix accounting.
+    pub fn class(&self) -> InstrClass {
+        use Instruction::*;
+        match self {
+            Lb { .. } | Lh { .. } | Lw { .. } | Lbu { .. } | Lhu { .. } => InstrClass::Load,
+            Sb { .. } | Sh { .. } | Sw { .. } => InstrClass::Store,
+            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Bltu { .. } | Bgeu { .. } => {
+                InstrClass::Branch
+            }
+            Jal { .. } | Jalr { .. } => InstrClass::Jump,
+            Mul { .. }
+            | Mulh { .. }
+            | Mulhsu { .. }
+            | Mulhu { .. }
+            | Div { .. }
+            | Divu { .. }
+            | Rem { .. }
+            | Remu { .. } => InstrClass::MulDiv,
+            Fence | FenceI | Ecall | Ebreak | Invalid { .. } => InstrClass::System,
+            _ => InstrClass::Alu,
         }
     }
 

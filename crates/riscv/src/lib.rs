@@ -56,8 +56,8 @@ pub use decode::decode;
 pub use disasm::disassemble;
 pub use encode::encode;
 pub use execute::execute;
-pub use isa::{Instruction, Reg};
-pub use machine::{MachineError, SpecMachine, StepOutcome};
+pub use isa::{InstrClass, Instruction, Reg};
+pub use machine::{MachineError, SpecMachine, SpecStats, StepOutcome};
 pub use mem::Memory;
 pub use mmio::{AccessSize, MmioEvent, MmioEventKind, MmioHandler, NoMmio};
 pub use primitives::Primitives;

@@ -16,12 +16,13 @@
 
 use crate::decode::decode;
 use crate::execute::execute;
-use crate::isa::{Instruction, Reg};
+use crate::isa::{InstrClass, Instruction, Reg};
 use crate::mem::Memory;
 use crate::mmio::{AccessSize, MmioEvent, MmioHandler};
 use crate::primitives::{Primitives, Trap};
 use crate::word;
 use crate::xaddrs::XAddrs;
+use obs::{Counters, Histogram};
 use std::fmt;
 
 /// Undefined behavior and traps, made explicit.
@@ -140,6 +141,81 @@ pub enum StepOutcome {
     OutOfFuel,
 }
 
+/// Execution statistics of a [`SpecMachine`], exported as `spec.*`
+/// counters by [`SpecStats::counters`]. Retired-mix buckets follow
+/// [`InstrClass`]; MMIO gap latencies are measured in retired
+/// instructions between consecutive MMIO events.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpecStats {
+    /// Retired instructions per [`InstrClass::Alu`].
+    pub retired_alu: u64,
+    /// Retired M-extension multiplies/divides.
+    pub retired_muldiv: u64,
+    /// Retired loads.
+    pub retired_load: u64,
+    /// Retired stores.
+    pub retired_store: u64,
+    /// Retired conditional branches.
+    pub retired_branch: u64,
+    /// Retired jumps.
+    pub retired_jump: u64,
+    /// Retired system instructions (fences; trapping ones never retire).
+    pub retired_system: u64,
+    /// MMIO loads recorded in the trace.
+    pub mmio_loads: u64,
+    /// MMIO stores recorded in the trace.
+    pub mmio_stores: u64,
+    /// Distribution of gaps between consecutive MMIO events, in retired
+    /// instructions.
+    pub mmio_gap: Histogram,
+    last_mmio_instret: Option<u64>,
+}
+
+impl SpecStats {
+    fn retire(&mut self, class: InstrClass) {
+        let slot = match class {
+            InstrClass::Alu => &mut self.retired_alu,
+            InstrClass::MulDiv => &mut self.retired_muldiv,
+            InstrClass::Load => &mut self.retired_load,
+            InstrClass::Store => &mut self.retired_store,
+            InstrClass::Branch => &mut self.retired_branch,
+            InstrClass::Jump => &mut self.retired_jump,
+            InstrClass::System => &mut self.retired_system,
+        };
+        *slot += 1;
+    }
+
+    fn mmio_event(&mut self, instret: u64, is_load: bool) {
+        if is_load {
+            self.mmio_loads += 1;
+        } else {
+            self.mmio_stores += 1;
+        }
+        if let Some(last) = self.last_mmio_instret {
+            self.mmio_gap.record(instret - last);
+        }
+        self.last_mmio_instret = Some(instret);
+    }
+
+    /// Exports the stats as `spec.*` named counters.
+    pub fn counters(&self) -> Counters {
+        let mut c = Counters::new();
+        c.set("spec.retired.alu", self.retired_alu);
+        c.set("spec.retired.muldiv", self.retired_muldiv);
+        c.set("spec.retired.load", self.retired_load);
+        c.set("spec.retired.store", self.retired_store);
+        c.set("spec.retired.branch", self.retired_branch);
+        c.set("spec.retired.jump", self.retired_jump);
+        c.set("spec.retired.system", self.retired_system);
+        c.set("spec.mmio.loads", self.mmio_loads);
+        c.set("spec.mmio.stores", self.mmio_stores);
+        c.set("spec.mmio.gap_count", self.mmio_gap.count());
+        c.set("spec.mmio.gap_max", self.mmio_gap.max());
+        c.set("spec.mmio.gap_mean", self.mmio_gap.mean().round() as u64);
+        c
+    }
+}
+
 /// The specification machine: registers, pc, RAM, XAddrs, MMIO, and the I/O
 /// trace.
 #[derive(Clone, Debug)]
@@ -159,6 +235,8 @@ pub struct SpecMachine<M> {
     pub trace: Vec<MmioEvent>,
     /// Retired instruction count.
     pub instret: u64,
+    /// Execution statistics (retired mix, MMIO gaps).
+    pub stats: SpecStats,
 }
 
 impl<M: MmioHandler> SpecMachine<M> {
@@ -175,6 +253,7 @@ impl<M: MmioHandler> SpecMachine<M> {
             mmio,
             trace: Vec::new(),
             instret: 0,
+            stats: SpecStats::default(),
         }
     }
 
@@ -233,6 +312,7 @@ impl<M: MmioHandler> SpecMachine<M> {
         execute(self, &inst)?;
         self.pc = self.next_pc;
         self.instret += 1;
+        self.stats.retire(inst.class());
         self.mmio.tick();
         Ok(())
     }
@@ -306,6 +386,7 @@ impl<M: MmioHandler> Primitives for SpecMachine<M> {
             }
             let value = self.mmio.load(addr, size);
             self.trace.push(MmioEvent::load(addr, value));
+            self.stats.mmio_event(self.instret, true);
             Ok(value)
         } else {
             Err(MachineError::AccessFault { addr, size })
@@ -332,6 +413,7 @@ impl<M: MmioHandler> Primitives for SpecMachine<M> {
             }
             self.mmio.store(addr, size, value);
             self.trace.push(MmioEvent::store(addr, value));
+            self.stats.mmio_event(self.instret, false);
             Ok(())
         } else {
             Err(MachineError::AccessFault { addr, size })

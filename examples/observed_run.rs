@@ -1,0 +1,67 @@
+//! Observability tour: run the default verified configuration with
+//! tracing on, print the cross-layer counter summary, and show how to get
+//! the trace into Perfetto.
+//!
+//! ```sh
+//! cargo run --release --example observed_run
+//! ```
+//!
+//! To inspect the timeline, redirect the Chrome trace to a file and open
+//! it at <https://ui.perfetto.dev>:
+//!
+//! ```sh
+//! cargo run --release --example observed_run -- --trace > trace.json
+//! ```
+
+use lightbulb_system::devices::TrafficGen;
+use lightbulb_system::integration::SystemConfig;
+
+fn main() {
+    let mut gen = TrafficGen::new(42);
+    let frames = vec![gen.command(true), gen.command(false)];
+    let run = SystemConfig::default().run_traced(&frames, 600_000);
+    assert!(run.error.is_none(), "{:?}", run.error);
+
+    if std::env::args().any(|a| a == "--trace") {
+        // Just the Perfetto document on stdout, commentary on stderr.
+        println!("{}", run.report.chrome_trace());
+        eprintln!(
+            "({} trace events; load the JSON at https://ui.perfetto.dev)",
+            run.report.trace_events.len()
+        );
+        return;
+    }
+
+    println!("=== run ===");
+    println!(
+        "{} cycles, {} MMIO events, bulb history {:?}, final pc 0x{:08x}",
+        run.cycles,
+        run.events.len(),
+        run.bulb_history,
+        run.report.final_pc
+    );
+
+    println!("\n=== cross-layer counters ===");
+    print!("{}", run.report.summary());
+
+    let c = &run.report.counters;
+    let cycles = c.get("pipeline.cycles").max(1);
+    println!("\n=== derived ===");
+    println!(
+        "IPC {:.3}  ({} retired / {} cycles)",
+        c.get("pipeline.retired") as f64 / cycles as f64,
+        c.get("pipeline.retired"),
+        cycles
+    );
+    println!(
+        "stall rate {:.1}%  flush rate {:.2}%  BTB hit rate {:.1}%",
+        100.0 * c.get("pipeline.stall.total") as f64 / cycles as f64,
+        100.0 * c.get("pipeline.flush.total") as f64 / cycles as f64,
+        100.0 * c.get("pipeline.btb.hit") as f64
+            / (c.get("pipeline.btb.hit") + c.get("pipeline.btb.miss")).max(1) as f64
+    );
+    println!(
+        "{} trace events recorded (rerun with --trace to export for Perfetto)",
+        run.report.trace_events.len()
+    );
+}

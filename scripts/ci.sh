@@ -13,7 +13,7 @@ echo "== docs =="
 cargo doc --workspace --no-deps
 
 echo "== examples =="
-for e in quickstart lightbulb_demo malformed_packet_fuzz differential_compiler pipeline_trace packet_counter; do
+for e in quickstart lightbulb_demo malformed_packet_fuzz differential_compiler pipeline_trace packet_counter observed_run; do
   echo "-- $e"
   cargo run --release --example "$e" >/dev/null
 done
@@ -23,5 +23,16 @@ for b in table1 table2 table3 table4 fig_perf verif_perf; do
   echo "-- $b"
   cargo run --release -p bench --bin "$b" >/dev/null
 done
+
+echo "== bench --json =="
+# emit_json re-parses its own output before printing, so a successful run
+# already proves the document is valid; the python pass is an independent
+# parser double-checking the same bytes when one is available.
+cargo run --release -p bench --bin table1 -- --json > /tmp/bench_table1.json
+test -s /tmp/bench_table1.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool < /tmp/bench_table1.json > /dev/null
+  echo "-- BENCH_table1.json parses (python3)"
+fi
 
 echo "ALL CHECKS PASSED"

@@ -42,8 +42,8 @@
 //! ```
 //!
 //! Runnable binaries live in `examples/`: `quickstart`, `lightbulb_demo`,
-//! `malformed_packet_fuzz`, `differential_compiler`, `pipeline_trace`, and
-//! `packet_counter`.
+//! `malformed_packet_fuzz`, `differential_compiler`, `pipeline_trace`,
+//! `packet_counter`, and `observed_run`.
 
 pub use bedrock2;
 pub use bedrock2_compiler as compiler;
@@ -51,6 +51,7 @@ pub use devices;
 pub use integration;
 pub use kami;
 pub use lightbulb;
+pub use obs;
 pub use processor;
 pub use proglogic;
 pub use riscv_spec as riscv;

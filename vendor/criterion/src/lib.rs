@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access and no vendored registry, so
+//! this workspace ships the subset of the criterion API its benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`] with `iter` /
+//! `iter_batched`, [`BatchSize`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is simple and honest: each benchmark runs `sample_size`
+//! timed samples (after one warm-up), where each sample times a batch of
+//! enough iterations to exceed ~2 ms, and reports the **median** per-call
+//! time. There are no statistical tests, plots, or saved baselines. Every
+//! measurement is also recorded in [`Criterion::results`] so harnesses can
+//! assert on ratios (the observability overhead bench does).
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted, ignored: every batch
+/// here runs the routine once per setup).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Passed to benchmark closures; runs and times the workload.
+pub struct Bencher<'a> {
+    samples: usize,
+    /// Collected per-call times in nanoseconds (one per sample).
+    result_ns: &'a mut Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: how many calls fill ~2 ms?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().as_nanos().max(1) as u64;
+        let batch = (2_000_000 / once).clamp(1, 1_000_000);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.result_ns
+                .push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.result_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    if v.is_empty() {
+        0.0
+    } else {
+        v[v.len() / 2]
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    /// `(benchmark id, median ns per call)` for every finished benchmark.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            prefix: name.into(),
+            samples: 10,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = id.into();
+        self.run(id, 10, f);
+    }
+
+    /// Median per-call nanoseconds of a finished benchmark, by exact id.
+    pub fn median_ns(&self, id: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|(n, _)| n == id)
+            .map(|(_, ns)| *ns)
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, samples: usize, mut f: F) {
+        let mut ns = Vec::new();
+        f(&mut Bencher {
+            samples,
+            result_ns: &mut ns,
+        });
+        let med = median(ns);
+        println!("{id:<55} time: [{}]", human(med));
+        self.results.push((id, med));
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    prefix: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group (id is `prefix/name`).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let id = format!("{}/{}", self.prefix, name.into());
+        let samples = self.samples;
+        self.c.run(id, samples, f);
+    }
+
+    /// Ends the group (exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(c.median_ns("demo/noop").is_some());
+        assert!(c.median_ns("demo/batched").unwrap() >= 0.0);
+        assert_eq!(c.results.len(), 2);
+    }
+
+    #[test]
+    fn median_is_positional() {
+        assert_eq!(super::median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(super::median(vec![]), 0.0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access and no vendored registry, so
+//! this workspace ships the subset of the proptest API its property tests
+//! use: the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//! `prop_recursive`, and `boxed`; range/tuple/`Just`/`any` strategies;
+//! `collection::vec`; the `proptest!`, `prop_oneof!`, `prop_compose!`,
+//! `prop_assert!`, and `prop_assert_eq!` macros; and
+//! [`ProptestConfig`](test_runner::ProptestConfig).
+//!
+//! Differences from real proptest, on purpose:
+//!
+//! * sampling is **deterministic**: the RNG is seeded from the test
+//!   function's name and the case index, so failures reproduce exactly
+//!   without a persistence file;
+//! * there is **no shrinking** — a failing case panics with the assertion
+//!   message (the asserting macros use `assert!`/`assert_eq!` underneath,
+//!   so values still print);
+//! * strategies are plain samplers, not shrink trees.
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, TestRng, Union};
+
+/// Runner configuration (case counts).
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Lengths a [`vec`] strategy may produce: an exact `usize` or a range.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.end > self.start, "empty length range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            self.start() + (rng.next_u64() as usize) % (self.end() - self.start() + 1)
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a property (panics with the message; no
+/// shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Weighted or unweighted union of strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Defines a function returning a strategy built by sampling named
+/// sub-strategies and mapping them through a body.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ($($outer:tt)*)
+                                ($($var:ident in $strat:expr),+ $(,)?)
+                                -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($var,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Hashes a string to a seed (FNV-1a), so each property gets a distinct
+/// deterministic RNG stream.
+#[doc(hidden)]
+pub fn seed_for(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ ((case as u64) << 1 | 1)
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ..)`
+/// runs `cases` deterministic samples of its strategies.
+#[macro_export]
+macro_rules! proptest {
+    // Internal `@funcs` arms must precede the public catch-all, or the
+    // catch-all re-wraps every recursive call forever.
+    (@funcs ($config:expr) ) => {};
+    (
+        @funcs ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::strategy::TestRng::new(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name)), case),
+                );
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)+
+                // Bodies may bail out of a case with `return Ok(())` (real
+                // proptest's Result style), so run them in a closure.
+                #[allow(clippy::redundant_closure_call)]
+                let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!("property returned Err: {e}");
+                }
+            }
+        }
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(
+            @funcs ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    fn arb_small() -> impl Strategy<Value = u32> {
+        prop_oneof![
+            Just(1u32),
+            10u32..20,
+            any::<u32>().prop_map(|v| v % 5 + 100)
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 3u32..7, y in -4i32..=4) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_hits_only_declared_arms(x in arb_small()) {
+            prop_assert!(x == 1 || (10..20).contains(&x) || (100..105).contains(&x));
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(u32),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recursive_strategies_terminate(
+            t in (0u32..10).prop_map(Tree::Leaf).prop_recursive(3, 8, 2, |inner| {
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            })
+        ) {
+            prop_assert!(depth(&t) <= 3);
+        }
+    }
+
+    prop_compose! {
+        fn pair()(a in 0u32..10, b in 0u32..10) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategies_work((a, b) in pair()) {
+            prop_assert!(a < 10 && b < 10);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut r1 = TestRng::new(crate::seed_for("x", 0));
+        let mut r2 = TestRng::new(crate::seed_for("x", 0));
+        let s = collection::vec(any::<u32>(), 8usize);
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+}
