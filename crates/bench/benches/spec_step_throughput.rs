@@ -1,0 +1,110 @@
+//! Interpreter throughput A/B: the predecoded-instruction cache and
+//! batched stepping against the seed's fetch-decode-per-step loop, on the
+//! booted lightbulb workload, with the pipelined hardware model for scale.
+//!
+//! Three measurements over the same image and device board:
+//!
+//! * `cached`   — `SpecMachine::run_block` with the decode cache on (the
+//!   default fast path every caller now gets);
+//! * `uncached` — the seed configuration: cache disabled, one `step()`
+//!   call (fetch, decode, tick) per instruction;
+//! * `pipeline` — the pipelined hardware model, for scale (it simulates
+//!   five stages per cycle and is expected to be far slower per retired
+//!   instruction).
+//!
+//! Run with `cargo bench --bench spec_step_throughput`.
+
+use criterion::{BatchSize, Criterion};
+use lightbulb_system::devices::{Board, SpiConfig};
+use lightbulb_system::integration::{build_image, SystemConfig};
+use lightbulb_system::processor::{PipelineConfig, Pipelined};
+use lightbulb_system::riscv::{Memory, SpecMachine};
+
+const STEPS: u64 = 200_000;
+const RAM: u32 = 0x1_0000;
+
+fn booted_spec(words: &[u32], icache: bool) -> SpecMachine<Board> {
+    let mut m = SpecMachine::new(Memory::with_size(RAM), Board::new(SpiConfig::default()));
+    m.set_icache_enabled(icache);
+    m.load_program(0, words);
+    m
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let image = build_image(&SystemConfig::default());
+    let words = image.words();
+    let bytes = image.bytes();
+
+    // Warm-up outside the measurement (page faults, frequency ramp).
+    for _ in 0..2 {
+        let mut m = booted_spec(&words, true);
+        m.run_block(STEPS).expect("lightbulb runs clean");
+        criterion::black_box(m.instret);
+    }
+
+    let mut g = c.benchmark_group("spec_step_throughput");
+    g.sample_size(30);
+
+    g.bench_function("cached", |b| {
+        b.iter_batched(
+            || booted_spec(&words, true),
+            |mut m| {
+                m.run_block(STEPS).expect("lightbulb runs clean");
+                m.instret
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("uncached", |b| {
+        b.iter_batched(
+            || booted_spec(&words, false),
+            |mut m| {
+                for _ in 0..STEPS {
+                    m.step().expect("lightbulb runs clean");
+                }
+                m.instret
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("pipeline", |b| {
+        b.iter_batched(
+            || {
+                Pipelined::new(
+                    &bytes,
+                    RAM,
+                    Board::new(SpiConfig::default()),
+                    PipelineConfig::default(),
+                )
+            },
+            |mut cpu| {
+                cpu.run(STEPS); // cycles, not instructions: hardware scale
+                (cpu.cycle, cpu.retired)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_throughput(&mut c);
+
+    let cached = c
+        .median_ns("spec_step_throughput/cached")
+        .expect("cached ran");
+    let uncached = c
+        .median_ns("spec_step_throughput/uncached")
+        .expect("uncached ran");
+    let to_rate = |ns: f64| STEPS as f64 / (ns / 1e9);
+    println!();
+    println!(
+        "cached: {:.1} Msteps/s   uncached (seed path): {:.1} Msteps/s   speedup: {:.2}x",
+        to_rate(cached) / 1e6,
+        to_rate(uncached) / 1e6,
+        uncached / cached
+    );
+}

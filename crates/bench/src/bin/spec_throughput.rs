@@ -1,0 +1,204 @@
+//! Interpreter and differential-tester throughput: the measured effect of
+//! the predecoded-instruction cache, batched stepping, and the sharded
+//! differential sweep. `--json` emits a `bench-report/v1` record to
+//! `BENCH_spec_throughput.json`.
+//!
+//! Four execution cores run the same booted lightbulb image for a fixed
+//! instruction budget: the spec machine with the decode cache (the default
+//! everyone now gets), the seed configuration (cache off, per-step loop),
+//! the single-cycle hardware model, and the pipelined hardware model. The
+//! differential section times the same 40-seed compiler sweep serially and
+//! sharded across every hardware thread, and self-checks that the sharded
+//! sweep's counter report is byte-for-byte deterministic across runs.
+
+use std::time::Instant;
+
+use bench::{counters_json, emit_json, json_mode, render_table};
+use lightbulb_system::devices::{Board, SpiConfig};
+use lightbulb_system::integration::differential::{
+    check_compiler_differential, default_shards, parallel_sweep,
+};
+use lightbulb_system::integration::{build_image, SystemConfig};
+use lightbulb_system::processor::{PipelineConfig, Pipelined, SingleCycle};
+use lightbulb_system::riscv::{Memory, SpecMachine};
+use obs::json::Value;
+
+const STEPS: u64 = 2_000_000;
+const RAM: u32 = 0x1_0000;
+const DIFF_SEEDS: std::ops::Range<u64> = 0..40;
+
+struct Row {
+    config: &'static str,
+    retired: u64,
+    secs: f64,
+}
+
+impl Row {
+    fn rate(&self) -> f64 {
+        self.retired as f64 / self.secs
+    }
+}
+
+fn booted_spec(words: &[u32], icache: bool) -> SpecMachine<Board> {
+    let mut m = SpecMachine::new(Memory::with_size(RAM), Board::new(SpiConfig::default()));
+    m.set_icache_enabled(icache);
+    m.load_program(0, words);
+    m
+}
+
+fn main() {
+    let image = build_image(&SystemConfig::default());
+    let words = image.words();
+    let bytes = image.bytes();
+    let mut rows = Vec::new();
+
+    // Warm-up: fault the image in so the first measured row isn't taxed.
+    booted_spec(&words, true)
+        .run_block(STEPS / 4)
+        .expect("lightbulb runs clean");
+
+    let t0 = Instant::now();
+    let mut cached = booted_spec(&words, true);
+    cached.run_block(STEPS).expect("lightbulb runs clean");
+    rows.push(Row {
+        config: "spec cached (run_block + decode cache)",
+        retired: cached.instret,
+        secs: t0.elapsed().as_secs_f64(),
+    });
+    let (hits, misses) = (cached.stats.icache_hits, cached.stats.icache_misses);
+
+    let t0 = Instant::now();
+    let mut seed = booted_spec(&words, false);
+    for _ in 0..STEPS {
+        seed.step().expect("lightbulb runs clean");
+    }
+    rows.push(Row {
+        config: "spec uncached (seed: per-step fetch+decode)",
+        retired: seed.instret,
+        secs: t0.elapsed().as_secs_f64(),
+    });
+
+    let t0 = Instant::now();
+    let mut sc = SingleCycle::new(&bytes, RAM, Board::new(SpiConfig::default()));
+    sc.run_block(STEPS);
+    rows.push(Row {
+        config: "single-cycle hardware model",
+        retired: sc.retired,
+        secs: t0.elapsed().as_secs_f64(),
+    });
+
+    let t0 = Instant::now();
+    let mut pipe = Pipelined::new(
+        &bytes,
+        RAM,
+        Board::new(SpiConfig::default()),
+        PipelineConfig::default(),
+    );
+    pipe.run(STEPS);
+    rows.push(Row {
+        config: "pipelined hardware model",
+        retired: pipe.retired,
+        secs: t0.elapsed().as_secs_f64(),
+    });
+
+    let speedup = rows[0].rate() / rows[1].rate();
+
+    // Differential sweep: serial vs sharded, plus a determinism self-check
+    // (two sharded runs must publish byte-identical counter reports).
+    let shards = default_shards();
+    let t0 = Instant::now();
+    let serial = parallel_sweep(DIFF_SEEDS, 1, |p| check_compiler_differential(p, false));
+    let serial_secs = t0.elapsed().as_secs_f64();
+    serial.expect_clean("serial differential");
+
+    let t0 = Instant::now();
+    let sharded = parallel_sweep(DIFF_SEEDS, shards, |p| {
+        check_compiler_differential(p, false)
+    });
+    let sharded_secs = t0.elapsed().as_secs_f64();
+    sharded.expect_clean("sharded differential");
+
+    let again = parallel_sweep(DIFF_SEEDS, shards, |p| {
+        check_compiler_differential(p, false)
+    });
+    let report_a = counters_json(&sharded.counters).render();
+    let report_b = counters_json(&again.counters).render();
+    let deterministic = report_a == report_b;
+    assert!(deterministic, "sharded sweep reports must be reproducible");
+
+    if json_mode() {
+        let cores = Value::Arr(
+            rows.iter()
+                .map(|r| {
+                    Value::obj()
+                        .field("config", Value::Str(r.config.to_string()))
+                        .field("retired", Value::UInt(r.retired))
+                        .field("seconds", Value::Float(r.secs))
+                        .field("steps_per_sec", Value::Float(r.rate()))
+                })
+                .collect(),
+        );
+        let data = Value::obj()
+            .field(
+                "workload",
+                Value::Str("lightbulb boot + polling loop".into()),
+            )
+            .field("step_budget", Value::UInt(STEPS))
+            .field("cores", cores)
+            .field("cached_vs_seed_speedup", Value::Float(speedup))
+            .field(
+                "icache",
+                Value::obj()
+                    .field("hits", Value::UInt(hits))
+                    .field("misses", Value::UInt(misses)),
+            )
+            .field(
+                "differential",
+                Value::obj()
+                    .field("seeds", Value::UInt(DIFF_SEEDS.end - DIFF_SEEDS.start))
+                    .field("serial_seconds", Value::Float(serial_secs))
+                    .field("sharded_seconds", Value::Float(sharded_secs))
+                    .field("shards", Value::UInt(shards as u64))
+                    .field("deterministic", Value::Bool(deterministic))
+                    .field("counters", counters_json(&sharded.counters)),
+            );
+        emit_json("spec_throughput", data);
+        return;
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.to_string(),
+                format!("{}", r.retired),
+                format!("{:.3} s", r.secs),
+                format!("{:.2} Msteps/s", r.rate() / 1e6),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "interpreter throughput (lightbulb workload, this machine)",
+            &["core", "retired", "wall clock", "throughput"],
+            &table
+        )
+    );
+    println!();
+    println!(
+        "decode cache: {hits} hits / {misses} misses ({:.4}% hit rate); \
+         cached vs seed speedup: {speedup:.2}x",
+        100.0 * hits as f64 / (hits + misses).max(1) as f64
+    );
+    println!(
+        "differential sweep ({} seeds): serial {serial_secs:.2} s, \
+         {shards}-shard {sharded_secs:.2} s; reports {}",
+        DIFF_SEEDS.end - DIFF_SEEDS.start,
+        if deterministic {
+            "byte-identical across runs"
+        } else {
+            "NOT deterministic"
+        }
+    );
+}

@@ -10,7 +10,9 @@ use std::time::Instant;
 
 use bench::{emit_json, json_mode, render_table};
 use lightbulb_system::devices::{Board, SpiConfig, TrafficGen};
-use lightbulb_system::integration::differential::{check_compiler_differential, DiffError};
+use lightbulb_system::integration::differential::{
+    check_compiler_differential, default_shards, parallel_sweep, DiffError,
+};
 use lightbulb_system::integration::progen::ProgGen;
 use lightbulb_system::integration::{build_image, end_to_end_lightbulb, SystemConfig};
 use lightbulb_system::processor::{check_refinement, PipelineConfig};
@@ -96,6 +98,24 @@ fn main() {
         format!("{n} conclusive"),
     ]);
     measured.push(("compiler_differential", secs, format!("{n} conclusive")));
+
+    // 3b. The same batch, sharded across every hardware thread.
+    let shards = default_shards();
+    let (r, secs) = timed(|| {
+        let r = parallel_sweep(0..40, shards, |p| check_compiler_differential(p, false));
+        r.expect_clean("verif_perf parallel differential");
+        r
+    });
+    rows.push(vec![
+        format!("compiler differential (parallel, {shards} shards)"),
+        format!("{secs:.2} s"),
+        format!("{} conclusive", r.conclusive),
+    ]);
+    measured.push((
+        "compiler_differential_parallel",
+        secs,
+        format!("{} conclusive, {} shards", r.conclusive, r.shards),
+    ));
 
     // 4. Symbolic-execution obligations (driver-style fragments).
     let (obs, secs) = timed(|| {

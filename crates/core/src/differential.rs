@@ -17,11 +17,14 @@
 //! [`DiffError::SourceUb`] so harnesses can discard them.
 
 use crate::debug_dev::DebugDevice;
+use crate::progen::ProgGen;
 use bedrock2::ast::Program;
 use bedrock2::semantics::Interp;
 use bedrock2_compiler::{compile, CompileOptions, MmioExtCompiler};
 use lightbulb::MmioBridge;
+use obs::Counters;
 use riscv_spec::{Memory, MmioEvent, SpecMachine, StepOutcome};
+use std::ops::Range;
 
 /// Fuel for source-level runs.
 const SOURCE_FUEL: u64 = 4_000_000;
@@ -264,30 +267,163 @@ pub fn check_isa_consistency(prog: &Program, optimize: bool) -> Result<(), DiffE
     Ok(())
 }
 
+/// The outcome of a sharded seed sweep ([`parallel_sweep`]).
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Seeds swept.
+    pub total: u64,
+    /// Runs where both sides completed and agreed.
+    pub conclusive: u64,
+    /// Runs discarded as [`DiffError::SourceUb`] (outside every theorem).
+    pub inconclusive: u64,
+    /// Genuine disagreements, in ascending-seed order.
+    pub failures: Vec<(u64, DiffError)>,
+    /// `core.diff.*` counters, merged from the per-shard registries in
+    /// shard order (summed counters make the merge order-insensitive, so
+    /// reports are identical across shard counts).
+    pub counters: Counters,
+    /// Shards the sweep actually used.
+    pub shards: usize,
+}
+
+impl SweepReport {
+    /// Panics with the first failing seed, if any — the sweep analogue of
+    /// `Result::unwrap` for test harnesses. Reproduce a reported seed with
+    /// `check(&ProgGen::new(seed).gen_program())`.
+    pub fn expect_clean(&self, name: &str) {
+        if let Some((seed, e)) = self.failures.first() {
+            panic!(
+                "{name}: {} of {} seeds failed; first is seed {seed}: {e}",
+                self.failures.len(),
+                self.total
+            );
+        }
+    }
+}
+
+/// Shard count matching the host: one per available hardware thread.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Sweeps `seeds` through `check` on programs from the default
+/// [`ProgGen`], sharded across `shards` OS threads.
+///
+/// Results are deterministic regardless of `shards`: seeds are split into
+/// contiguous chunks, each shard reports into its own [`Counters`], and
+/// shard results are merged in shard (= ascending seed) order.
+pub fn parallel_sweep<C>(seeds: Range<u64>, shards: usize, check: C) -> SweepReport
+where
+    C: Fn(&Program) -> Result<(), DiffError> + Sync,
+{
+    parallel_sweep_with(
+        seeds,
+        shards,
+        |seed| ProgGen::new(seed).gen_program(),
+        check,
+    )
+}
+
+/// [`parallel_sweep`] with a custom seed-to-program generator (e.g. a
+/// [`ProgGen`] with a non-default `GenConfig`).
+pub fn parallel_sweep_with<G, C>(
+    seeds: Range<u64>,
+    shards: usize,
+    generate: G,
+    check: C,
+) -> SweepReport
+where
+    G: Fn(u64) -> Program + Sync,
+    C: Fn(&Program) -> Result<(), DiffError> + Sync,
+{
+    let all: Vec<u64> = seeds.collect();
+    let shards = shards.clamp(1, all.len().max(1));
+    let chunk = all.len().div_ceil(shards);
+
+    struct Shard {
+        conclusive: u64,
+        inconclusive: u64,
+        failures: Vec<(u64, DiffError)>,
+        counters: Counters,
+    }
+
+    let run_shard = |seeds: &[u64]| -> Shard {
+        let mut shard = Shard {
+            conclusive: 0,
+            inconclusive: 0,
+            failures: Vec::new(),
+            counters: Counters::new(),
+        };
+        for &seed in seeds {
+            let prog = generate(seed);
+            match check(&prog) {
+                Ok(()) => shard.conclusive += 1,
+                Err(DiffError::SourceUb(_)) => shard.inconclusive += 1,
+                Err(e) => shard.failures.push((seed, e)),
+            }
+        }
+        shard.counters.set("core.diff.seeds", seeds.len() as u64);
+        shard.counters.set("core.diff.conclusive", shard.conclusive);
+        shard
+            .counters
+            .set("core.diff.inconclusive", shard.inconclusive);
+        shard
+            .counters
+            .set("core.diff.failures", shard.failures.len() as u64);
+        shard
+    };
+
+    let results: Vec<Shard> = if shards == 1 || all.is_empty() {
+        vec![run_shard(&all)]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = all
+                .chunks(chunk)
+                .map(|c| s.spawn(|| run_shard(c)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep shard panicked"))
+                .collect()
+        })
+    };
+
+    let shards_used = results.len();
+    let mut report = SweepReport {
+        total: all.len() as u64,
+        conclusive: 0,
+        inconclusive: 0,
+        failures: Vec::new(),
+        counters: Counters::new(),
+        shards: shards_used,
+    };
+    for shard in results {
+        report.conclusive += shard.conclusive;
+        report.inconclusive += shard.inconclusive;
+        report.failures.extend(shard.failures);
+        report.counters.merge(&shard.counters);
+    }
+    report.counters.set("core.diff.shards", shards_used as u64);
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::progen::ProgGen;
 
     /// One seed sweep shared by the in-crate smoke tests; the heavyweight
     /// sweeps live in `tests/` and the bench harness.
     fn sweep(
-        mut check: impl FnMut(&Program) -> Result<(), DiffError>,
+        check: impl Fn(&Program) -> Result<(), DiffError> + Sync,
         seeds: std::ops::Range<u64>,
     ) {
-        let mut conclusive = 0;
-        for seed in seeds.clone() {
-            let prog = ProgGen::new(seed).gen_program();
-            match check(&prog) {
-                Ok(()) => conclusive += 1,
-                Err(DiffError::SourceUb(_)) => {}
-                Err(e) => panic!("seed {seed}: {e}\n{prog}"),
-            }
-        }
-        let total = (seeds.end - seeds.start) as u32;
+        let r = parallel_sweep(seeds, default_shards(), check);
+        r.expect_clean("smoke sweep");
         assert!(
-            conclusive >= total * 5 / 10,
-            "too few conclusive runs: {conclusive}/{total}"
+            r.conclusive * 2 >= r.total,
+            "too few conclusive runs: {}/{}",
+            r.conclusive,
+            r.total
         );
     }
 
@@ -309,6 +445,22 @@ mod tests {
     #[test]
     fn isa_consistency_smoke() {
         sweep(|p| check_isa_consistency(p, false), 300..315);
+    }
+
+    #[test]
+    fn sweep_reports_are_shard_count_invariant() {
+        let serial = parallel_sweep(0..12, 1, |p| check_compiler_differential(p, false));
+        let sharded = parallel_sweep(0..12, 4, |p| check_compiler_differential(p, false));
+        assert_eq!(serial.total, sharded.total);
+        assert_eq!(serial.conclusive, sharded.conclusive);
+        assert_eq!(serial.inconclusive, sharded.inconclusive);
+        let strip = |c: &Counters| {
+            c.iter()
+                .filter(|(k, _)| *k != "core.diff.shards")
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&serial.counters), strip(&sharded.counters));
+        assert_eq!(sharded.shards, 4);
     }
 
     #[test]

@@ -124,6 +124,11 @@ impl MmioHandler for Board {
         self.ticks += 1;
         self.spi.tick();
     }
+
+    fn tick_n(&mut self, n: u64) {
+        self.ticks += n;
+        self.spi.tick_n(n);
+    }
 }
 
 #[cfg(test)]

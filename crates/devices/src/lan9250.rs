@@ -280,6 +280,11 @@ impl SpiSlave for Lan9250 {
     fn tick(&mut self) {
         self.ready_countdown = self.ready_countdown.saturating_sub(1);
     }
+
+    fn tick_n(&mut self, n: u64) {
+        let n = u32::try_from(n).unwrap_or(u32::MAX);
+        self.ready_countdown = self.ready_countdown.saturating_sub(n);
+    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,15 @@ pub trait SpiSlave {
 
     /// One device-time tick.
     fn tick(&mut self) {}
+
+    /// `n` device-time ticks at once. Only called while the SPI wire is
+    /// idle (no byte in flight, nothing queued), so a slave whose tick is a
+    /// plain countdown can batch it; the default replays [`SpiSlave::tick`].
+    fn tick_n(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
 }
 
 /// SPI timing configuration.
@@ -170,6 +179,19 @@ impl<S: SpiSlave> Spi<S> {
                 }
                 self.in_flight = None;
             }
+        }
+    }
+
+    /// `n` ticks at once — exactly `n` calls of [`Spi::tick`], but O(1)
+    /// while the wire is idle: with nothing in flight and an empty send
+    /// queue, a tick only advances the slave's own time.
+    pub fn tick_n(&mut self, n: u64) {
+        if self.in_flight.is_none() && self.tx.is_empty() {
+            self.slave.tick_n(n);
+            return;
+        }
+        for _ in 0..n {
+            self.tick();
         }
     }
 

@@ -19,6 +19,9 @@ pub struct MemSystem<M> {
     pub mmio: M,
     /// External method-call labels, oldest first.
     pub trace: LabelTrace,
+    /// Device ticks deferred by [`MemSystem::tick_deferred`], delivered in
+    /// one [`MmioHandler::tick_n`] call before the next device interaction.
+    pending_ticks: u64,
 }
 
 impl<M: MmioHandler> MemSystem<M> {
@@ -28,11 +31,19 @@ impl<M: MmioHandler> MemSystem<M> {
             ram,
             mmio,
             trace: Vec::new(),
+            pending_ticks: 0,
         }
     }
 
     fn routes_to_mmio(&self, addr: u32) -> bool {
         self.mmio.is_mmio(addr & !3, AccessSize::Word)
+    }
+
+    /// True when an access to `addr` lands in RAM rather than a device —
+    /// the routing decision of [`MemSystem::load`]/[`MemSystem::store`],
+    /// exposed so cores can maintain fetch-path caches over RAM.
+    pub fn is_ram(&self, addr: u32) -> bool {
+        !self.routes_to_mmio(addr)
     }
 
     /// Instruction fetch: always from RAM (devices are not executable).
@@ -45,6 +56,7 @@ impl<M: MmioHandler> MemSystem<M> {
         debug_assert!(op.kind.is_load());
         let aligned = op.addr & !3;
         let word = if self.routes_to_mmio(op.addr) {
+            self.flush_ticks();
             let v = self.mmio.load(aligned, AccessSize::Word);
             self.trace.push(TraceEvent {
                 cycle,
@@ -65,6 +77,7 @@ impl<M: MmioHandler> MemSystem<M> {
         if self.routes_to_mmio(op.addr) {
             // The device interface is word-sized; narrower stores present
             // the shifted word (software-level UB, but hardware is total).
+            self.flush_ticks();
             self.mmio.store(aligned, AccessSize::Word, data);
             self.trace.push(TraceEvent {
                 cycle,
@@ -75,9 +88,29 @@ impl<M: MmioHandler> MemSystem<M> {
         }
     }
 
-    /// Advances device time by one hardware cycle.
+    /// Advances device time by one hardware cycle, immediately.
     pub fn tick(&mut self) {
+        debug_assert_eq!(self.pending_ticks, 0, "mixing immediate and deferred ticks");
         self.mmio.tick();
+    }
+
+    /// Records one cycle of device time without delivering it yet; the
+    /// batched stepping loops use this so straight-line instruction runs
+    /// cost one `tick_n` call instead of a virtual `tick` per step. Pending
+    /// ticks are flushed before the next device load/store (so the device
+    /// observes exactly the ticks it would have under immediate ticking)
+    /// and must be flushed with [`MemSystem::flush_ticks`] at block exit.
+    pub fn tick_deferred(&mut self) {
+        self.pending_ticks += 1;
+    }
+
+    /// Delivers all deferred ticks to the device in one `tick_n` call.
+    pub fn flush_ticks(&mut self) {
+        if self.pending_ticks > 0 {
+            let n = self.pending_ticks;
+            self.pending_ticks = 0;
+            self.mmio.tick_n(n);
+        }
     }
 
     /// The projected (cycle-free) MMIO event sequence.

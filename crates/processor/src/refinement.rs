@@ -178,15 +178,27 @@ where
 
     let replay = ReplayHandler::new(impl_events.clone(), claims);
     let mut spec = SingleCycle::new(image, ram_bytes, replay);
-    // Step the spec core until it halts, diverges, or — when the
+    // Run the spec core until it halts, diverges, or — when the
     // implementation ran out of fuel mid-interaction — has consumed every
     // event the implementation produced (running further would make it
-    // overrun the replay queue, which is not a divergence).
+    // overrun the replay queue, which is not a divergence). Stepping is
+    // batched: since one instruction consumes at most one replay event, a
+    // block bounded by the remaining event count can never overrun the
+    // queue, and divergence is sticky inside [`ReplayHandler`] (every
+    // post-divergence access is a no-op), so checking once per block sees
+    // exactly the first divergence the per-step loop would.
     while !spec.halted && spec.cycle < max_cycles {
-        if !imp.halted && spec.mem.mmio.consumed() >= impl_events.len() {
-            break;
-        }
-        spec.step();
+        let budget = (max_cycles - spec.cycle).min(1024);
+        let block = if imp.halted {
+            budget
+        } else {
+            let remaining = impl_events.len() - spec.mem.mmio.consumed();
+            if remaining == 0 {
+                break;
+            }
+            budget.min(remaining as u64)
+        };
+        spec.run_block(block);
         if spec.mem.mmio.divergence().is_some() {
             break;
         }

@@ -9,7 +9,7 @@
 use crate::alu;
 use crate::memsys::MemSystem;
 use kami::{BeMemory, RegFile};
-use riscv_spec::{decode, MmioHandler};
+use riscv_spec::{decode, DecodeCache, MmioHandler};
 
 /// The single-cycle core.
 #[derive(Clone, Debug)]
@@ -26,6 +26,13 @@ pub struct SingleCycle<M> {
     pub retired: u64,
     /// Set when `ebreak`/`ecall` retires; the core then refuses to step.
     pub halted: bool,
+    /// Predecoded-instruction side table over RAM. Unlike [`SpecMachine`],
+    /// this core has no staleness model — fetch always reads current RAM —
+    /// so every RAM store invalidates the overlapped slot and the cache is
+    /// pure memoization, invisible to all observers.
+    ///
+    /// [`SpecMachine`]: riscv_spec::SpecMachine
+    icache: DecodeCache,
 }
 
 impl<M: MmioHandler> SingleCycle<M> {
@@ -39,16 +46,34 @@ impl<M: MmioHandler> SingleCycle<M> {
             cycle: 0,
             retired: 0,
             halted: false,
+            icache: DecodeCache::new(ram_bytes),
         }
     }
 
-    /// Executes one instruction (one cycle). No-op once halted.
-    pub fn step(&mut self) {
-        if self.halted {
-            return;
+    /// Drops every predecoded entry. Required after mutating `mem.ram`
+    /// directly (stores issued through [`SingleCycle::step`] invalidate
+    /// automatically).
+    pub fn flush_icache(&mut self) {
+        self.icache.flush();
+    }
+
+    #[inline]
+    fn fetch_decoded(&mut self) -> riscv_spec::Instruction {
+        match self.icache.get(self.pc) {
+            Some(inst) => inst,
+            None => {
+                let inst = decode(self.mem.fetch(self.pc));
+                self.icache.fill(self.pc, inst);
+                inst
+            }
         }
-        let word = self.mem.fetch(self.pc);
-        let inst = decode(word);
+    }
+
+    /// One instruction's datapath, minus the device tick (the caller picks
+    /// immediate or deferred ticking).
+    #[inline]
+    fn step_datapath(&mut self) {
+        let inst = self.fetch_decoded();
         let a = inst
             .sources()
             .first()
@@ -60,6 +85,11 @@ impl<M: MmioHandler> SingleCycle<M> {
             Some(op) if op.kind.is_load() => Some(self.mem.load(self.cycle, op)),
             Some(op) => {
                 self.mem.store(self.cycle, op);
+                if self.mem.is_ram(op.addr) {
+                    // The RAM write lands in the single aligned word
+                    // op.addr & !3 (byte enables select lanes within it).
+                    self.icache.invalidate_range(op.addr & !3, 4);
+                }
                 None
             }
             None => out.wb_value,
@@ -73,16 +103,35 @@ impl<M: MmioHandler> SingleCycle<M> {
         self.pc = out.next_pc;
         self.cycle += 1;
         self.retired += 1;
+    }
+
+    /// Executes one instruction (one cycle). No-op once halted.
+    pub fn step(&mut self) {
+        if self.halted {
+            return;
+        }
+        self.step_datapath();
         self.mem.tick();
+    }
+
+    /// Runs up to `fuel` instructions with deferred device ticks: the
+    /// per-step virtual `tick` is replaced by a counter, flushed in one
+    /// `tick_n` before any MMIO interaction and at block exit, so devices
+    /// observe identical timing while straight-line runs pay no per-step
+    /// dispatch. Returns cycles run.
+    pub fn run_block(&mut self, fuel: u64) -> u64 {
+        let start = self.cycle;
+        while !self.halted && self.cycle - start < fuel {
+            self.step_datapath();
+            self.mem.tick_deferred();
+        }
+        self.mem.flush_ticks();
+        self.cycle - start
     }
 
     /// Runs until halted or `max_cycles` elapse; returns cycles run.
     pub fn run(&mut self, max_cycles: u64) -> u64 {
-        let start = self.cycle;
-        while !self.halted && self.cycle - start < max_cycles {
-            self.step();
-        }
-        self.cycle - start
+        self.run_block(max_cycles)
     }
 }
 

@@ -1,0 +1,202 @@
+//! The predecoded-instruction cache behind [`SpecMachine`]'s fast fetch
+//! path.
+//!
+//! The paper's Kami processor owes its speed to an eagerly-filled
+//! instruction cache whose staleness discipline is exactly the XAddrs
+//! store-revocation model (§5.6): a store may leave the I$ holding a stale
+//! word, which is why fetching a stored-over address without `fence.i` is
+//! undefined behavior at the software level. [`DecodeCache`] transplants
+//! that idea into the simulator: each 4-byte instruction slot of RAM gets a
+//! side-table entry holding its *decoded* form, filled on first fetch and
+//! killed through the same store path that revokes executability. Because
+//! every event that could make an entry stale also removes it, the cached
+//! and uncached machines are observably identical by construction — the
+//! property test in `tests/icache_equiv.rs` checks exactly that, including
+//! on self-modifying programs.
+//!
+//! [`SpecMachine`]: crate::SpecMachine
+
+use crate::isa::Instruction;
+
+/// A direct-mapped (really: fully-indexed) predecode table over RAM.
+///
+/// Entry `i` caches the decoded instruction at byte address `4*i`, present
+/// only if, at fill time, that address was 4-aligned, inside RAM, and
+/// executable. Invariant: a present entry always equals
+/// `decode(mem[4*i..4*i+4])`, because [`DecodeCache::invalidate_range`] is
+/// called for every store into RAM (the XAddrs revocation path) and
+/// [`DecodeCache::flush`] for every out-of-band memory rewrite
+/// (`load_program`).
+#[derive(Clone, Debug)]
+pub struct DecodeCache {
+    entries: Vec<Option<Instruction>>,
+    enabled: bool,
+}
+
+impl DecodeCache {
+    /// An empty cache covering `ram_bytes` of memory (one slot per aligned
+    /// word; a trailing partial word is not cacheable).
+    pub fn new(ram_bytes: u32) -> DecodeCache {
+        DecodeCache {
+            entries: vec![None; (ram_bytes / 4) as usize],
+            enabled: true,
+        }
+    }
+
+    /// Whether lookups and fills are active. A disabled cache behaves like
+    /// the seed interpreter: every fetch re-decodes from memory.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables the cache; disabling also drops every entry so
+    /// that re-enabling starts cold.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        if !enabled {
+            self.flush();
+        }
+        self.enabled = enabled;
+    }
+
+    /// The cached decode for `pc`, if present. Returns `None` (forcing the
+    /// caller down the checked slow path) when the cache is disabled, `pc`
+    /// is misaligned, or the slot is out of range or empty.
+    #[inline]
+    pub fn get(&self, pc: u32) -> Option<Instruction> {
+        if !self.enabled || pc & 3 != 0 {
+            return None;
+        }
+        *self.entries.get((pc >> 2) as usize)?
+    }
+
+    /// Records the decode of the word at `pc`. No-op when the cache is
+    /// disabled or `pc` does not name an in-range aligned slot — the caller
+    /// already performed the full fetch checks, so nothing is lost.
+    #[inline]
+    pub fn fill(&mut self, pc: u32, inst: Instruction) {
+        if !self.enabled || pc & 3 != 0 {
+            return;
+        }
+        if let Some(slot) = self.entries.get_mut((pc >> 2) as usize) {
+            *slot = Some(inst);
+        }
+    }
+
+    /// Kills every entry whose 4-byte slot overlaps `n` bytes at `addr` —
+    /// the cache half of the store-revocation path. Out-of-range bytes are
+    /// ignored, mirroring [`XAddrs::remove_range`].
+    ///
+    /// [`XAddrs::remove_range`]: crate::XAddrs::remove_range
+    pub fn invalidate_range(&mut self, addr: u32, n: u32) {
+        if n == 0 {
+            return;
+        }
+        let first = (addr >> 2) as usize;
+        if first >= self.entries.len() {
+            return;
+        }
+        // A store of n bytes at addr touches slots addr/4 ..= (addr+n-1)/4
+        // (at most two for the machine's n ≤ 4 accesses).
+        let last = (((addr as u64 + n as u64 - 1) >> 2) as usize).min(self.entries.len() - 1);
+        for slot in &mut self.entries[first..=last] {
+            *slot = None;
+        }
+    }
+
+    /// Drops every entry. Required after any memory mutation that bypasses
+    /// the machine's store path (e.g. re-imaging RAM via `load_program` or
+    /// poking `mem` directly).
+    pub fn flush(&mut self) {
+        self.entries.fill(None);
+    }
+
+    /// Number of currently present entries (test/diagnostic aid).
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// True when no entry is present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|e| e.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Instruction as I;
+
+    const NOP: I = I::NOP;
+    const EBREAK: I = I::Ebreak;
+
+    #[test]
+    fn fill_then_get() {
+        let mut c = DecodeCache::new(0x100);
+        assert_eq!(c.get(8), None);
+        c.fill(8, NOP);
+        assert_eq!(c.get(8), Some(NOP));
+        assert_eq!(c.get(12), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn misaligned_and_out_of_range_are_never_cached() {
+        let mut c = DecodeCache::new(16);
+        c.fill(2, NOP);
+        c.fill(16, NOP);
+        c.fill(0xFFFF_FFFC, NOP);
+        assert!(c.is_empty());
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(16), None);
+    }
+
+    #[test]
+    fn store_kills_overlapping_slots_only() {
+        let mut c = DecodeCache::new(0x40);
+        for pc in (0..0x40).step_by(4) {
+            c.fill(pc, NOP);
+        }
+        // A word store at 6 straddles slots 1 and 2.
+        c.invalidate_range(6, 4);
+        assert_eq!(c.get(0), Some(NOP));
+        assert_eq!(c.get(4), None);
+        assert_eq!(c.get(8), None);
+        assert_eq!(c.get(12), Some(NOP));
+        // A byte store kills exactly one slot.
+        c.invalidate_range(0x21, 1);
+        assert_eq!(c.get(0x20), None);
+        assert_eq!(c.get(0x24), Some(NOP));
+    }
+
+    #[test]
+    fn invalidate_clamps_to_range() {
+        let mut c = DecodeCache::new(16);
+        c.fill(12, EBREAK);
+        c.invalidate_range(14, 100); // runs past the end
+        assert_eq!(c.get(12), None);
+        c.invalidate_range(u32::MAX - 1, 4); // wholly outside, no panic
+        c.invalidate_range(0, 0); // empty access, no-op
+    }
+
+    #[test]
+    fn disabling_drops_entries_and_blocks_fills() {
+        let mut c = DecodeCache::new(0x20);
+        c.fill(0, NOP);
+        c.set_enabled(false);
+        assert!(c.is_empty());
+        assert_eq!(c.get(0), None);
+        c.fill(0, NOP);
+        assert!(c.is_empty(), "disabled cache must not fill");
+        c.set_enabled(true);
+        c.fill(0, NOP);
+        assert_eq!(c.get(0), Some(NOP));
+    }
+
+    #[test]
+    fn zero_sized_ram() {
+        let mut c = DecodeCache::new(0);
+        c.fill(0, NOP);
+        assert_eq!(c.get(0), None);
+        c.invalidate_range(0, 4);
+    }
+}

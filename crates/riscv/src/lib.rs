@@ -43,6 +43,7 @@ pub mod decode;
 pub mod disasm;
 pub mod encode;
 pub mod execute;
+pub mod icache;
 pub mod isa;
 pub mod machine;
 pub mod mem;
@@ -56,6 +57,7 @@ pub use decode::decode;
 pub use disasm::disassemble;
 pub use encode::encode;
 pub use execute::execute;
+pub use icache::DecodeCache;
 pub use isa::{InstrClass, Instruction, Reg};
 pub use machine::{MachineError, SpecMachine, SpecStats, StepOutcome};
 pub use mem::Memory;

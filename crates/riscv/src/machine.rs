@@ -16,6 +16,7 @@
 
 use crate::decode::decode;
 use crate::execute::execute;
+use crate::icache::DecodeCache;
 use crate::isa::{InstrClass, Instruction, Reg};
 use crate::mem::Memory;
 use crate::mmio::{AccessSize, MmioEvent, MmioHandler};
@@ -165,6 +166,11 @@ pub struct SpecStats {
     pub mmio_loads: u64,
     /// MMIO stores recorded in the trace.
     pub mmio_stores: u64,
+    /// Fetches served by the predecoded instruction cache.
+    pub icache_hits: u64,
+    /// Fetches that took the full checked fetch-and-decode path (every
+    /// fetch, when the cache is disabled).
+    pub icache_misses: u64,
     /// Distribution of gaps between consecutive MMIO events, in retired
     /// instructions.
     pub mmio_gap: Histogram,
@@ -183,6 +189,19 @@ impl SpecStats {
             InstrClass::System => &mut self.retired_system,
         };
         *slot += 1;
+    }
+
+    /// Folds a whole block's retired-mix histogram in at once, indexed by
+    /// `InstrClass as usize` (the batched twin of [`SpecStats::retire`],
+    /// called once per `run_block` instead of once per instruction).
+    fn retire_mix(&mut self, counts: &[u64; 7]) {
+        self.retired_alu += counts[InstrClass::Alu as usize];
+        self.retired_muldiv += counts[InstrClass::MulDiv as usize];
+        self.retired_load += counts[InstrClass::Load as usize];
+        self.retired_store += counts[InstrClass::Store as usize];
+        self.retired_branch += counts[InstrClass::Branch as usize];
+        self.retired_jump += counts[InstrClass::Jump as usize];
+        self.retired_system += counts[InstrClass::System as usize];
     }
 
     fn mmio_event(&mut self, instret: u64, is_load: bool) {
@@ -212,6 +231,8 @@ impl SpecStats {
         c.set("spec.mmio.gap_count", self.mmio_gap.count());
         c.set("spec.mmio.gap_max", self.mmio_gap.max());
         c.set("spec.mmio.gap_mean", self.mmio_gap.mean().round() as u64);
+        c.set("riscv.spec.icache_hit", self.icache_hits);
+        c.set("riscv.spec.icache_miss", self.icache_misses);
         c
     }
 }
@@ -237,6 +258,14 @@ pub struct SpecMachine<M> {
     pub instret: u64,
     /// Execution statistics (retired mix, MMIO gaps).
     pub stats: SpecStats,
+    /// Predecoded instruction cache (private: its coherence with `mem` and
+    /// `xaddrs` is maintained by the store path; see
+    /// [`SpecMachine::flush_icache`] for out-of-band memory writes).
+    icache: DecodeCache,
+    /// Device ticks owed but not yet delivered — nonzero only while inside
+    /// [`SpecMachine::run_block`], which flushes them before every MMIO
+    /// interaction and at block exit.
+    pending_ticks: u64,
 }
 
 impl<M: MmioHandler> SpecMachine<M> {
@@ -254,7 +283,31 @@ impl<M: MmioHandler> SpecMachine<M> {
             trace: Vec::new(),
             instret: 0,
             stats: SpecStats::default(),
+            icache: DecodeCache::new(len),
+            pending_ticks: 0,
         }
+    }
+
+    /// Disables (or re-enables) the predecoded instruction cache, dropping
+    /// its contents. With the cache off, every fetch takes the seed
+    /// interpreter's checked fetch-and-decode path — the baseline the
+    /// `spec_step_throughput` bench and the `icache_equiv` property tests
+    /// compare against.
+    pub fn set_icache_enabled(&mut self, enabled: bool) {
+        self.icache.set_enabled(enabled);
+    }
+
+    /// Whether the predecoded instruction cache is active.
+    pub fn icache_enabled(&self) -> bool {
+        self.icache.enabled()
+    }
+
+    /// Drops every predecoded entry. Must be called after mutating `mem`
+    /// directly (i.e. not through the machine's own store path), which the
+    /// cache cannot observe; [`SpecMachine::load_program`] does this
+    /// automatically.
+    pub fn flush_icache(&mut self) {
+        self.icache.flush();
     }
 
     /// Reads a register (`x0` reads as zero).
@@ -286,6 +339,9 @@ impl<M: MmioHandler> SpecMachine<M> {
                 .store_u32(addr + (i as u32) * 4, *w)
                 .expect("program image must fit in RAM");
         }
+        // Re-imaging memory bypasses the store path, so cached decodes may
+        // no longer match RAM; start cold.
+        self.icache.flush();
     }
 
     /// Executes one instruction.
@@ -296,7 +352,39 @@ impl<M: MmioHandler> SpecMachine<M> {
     /// left as of the error (partial effects of the failing instruction may
     /// have applied, as in real UB — callers must not continue stepping).
     pub fn step(&mut self) -> Result<(), MachineError> {
+        let inst = self.fetch()?;
+        self.next_pc = self.pc.wrapping_add(4);
+        execute(self, &inst)?;
+        self.pc = self.next_pc;
+        self.instret += 1;
+        self.stats.retire(inst.class());
+        self.mmio.tick();
+        Ok(())
+    }
+
+    /// Fetches the instruction at the current pc: one table load on a
+    /// cache hit, the full checked fetch-and-decode on a miss.
+    #[inline]
+    fn fetch(&mut self) -> Result<Instruction, MachineError> {
         let pc = self.pc;
+        if let Some(inst) = self.icache.get(pc) {
+            // A present entry was filled from an aligned, in-range,
+            // executable slot and is killed by every store into it, so only
+            // executability (revocable out-of-band via the public `xaddrs`)
+            // still needs re-checking — one bitmap word, since `get`
+            // guarantees alignment.
+            if self.xaddrs.contains_aligned_word(pc) {
+                self.stats.icache_hits += 1;
+                return Ok(inst);
+            }
+        }
+        self.fetch_slow(pc)
+    }
+
+    /// The miss path: the seed interpreter's per-fetch checks, hoisted here
+    /// so the hot loop pays them once per cache fill instead of once per
+    /// step.
+    fn fetch_slow(&mut self, pc: u32) -> Result<Instruction, MachineError> {
         if !word::is_aligned(pc, 4) {
             return Err(MachineError::FetchMisaligned { addr: pc });
         }
@@ -308,37 +396,87 @@ impl<M: MmioHandler> SpecMachine<M> {
         }
         let inst_word = self.mem.load_u32(pc).expect("range checked above");
         let inst = decode(inst_word);
-        self.next_pc = pc.wrapping_add(4);
-        execute(self, &inst)?;
-        self.pc = self.next_pc;
-        self.instret += 1;
-        self.stats.retire(inst.class());
-        self.mmio.tick();
-        Ok(())
+        self.stats.icache_misses += 1;
+        self.icache.fill(pc, inst);
+        Ok(inst)
     }
 
-    /// Runs until `ebreak`, an error, or `fuel` instructions.
+    /// Delivers any deferred device ticks. Called before every MMIO
+    /// interaction and at `run_block` exit, so a handler observes exactly
+    /// as many ticks before each access as under per-step ticking.
+    fn flush_ticks(&mut self) {
+        if self.pending_ticks > 0 {
+            let n = self.pending_ticks;
+            self.pending_ticks = 0;
+            self.mmio.tick_n(n);
+        }
+    }
+
+    /// Runs up to `fuel` instructions in a batched hot loop: fetches come
+    /// from the decode cache, device ticks are accumulated and delivered in
+    /// bulk at MMIO boundaries ([`MmioHandler::tick_n`]), and the retired-
+    /// mix counters are flushed once per block. Observably identical to
+    /// `fuel` calls of [`SpecMachine::step`].
+    ///
+    /// Returns [`StepOutcome::Halted`] at `ebreak` with the number of
+    /// instructions retired *by this call* (not counting the `ebreak`), or
+    /// [`StepOutcome::OutOfFuel`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`MachineError`] other than [`MachineError::Breakpoint`], which
+    /// is the halt convention.
+    pub fn run_block(&mut self, fuel: u64) -> Result<StepOutcome, MachineError> {
+        let start = self.instret;
+        let mut mix = [0u64; 7];
+        let mut outcome = Ok(StepOutcome::OutOfFuel);
+        for _ in 0..fuel {
+            let inst = match self.fetch() {
+                Ok(inst) => inst,
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            };
+            self.next_pc = self.pc.wrapping_add(4);
+            if let Err(e) = execute(self, &inst) {
+                outcome = if let MachineError::Breakpoint { .. } = e {
+                    Ok(StepOutcome::Halted {
+                        steps: self.instret - start,
+                    })
+                } else {
+                    Err(e)
+                };
+                break;
+            }
+            self.pc = self.next_pc;
+            self.instret += 1;
+            mix[inst.class() as usize] += 1;
+            self.pending_ticks += 1;
+        }
+        self.flush_ticks();
+        self.stats.retire_mix(&mix);
+        outcome
+    }
+
+    /// Runs until `ebreak`, an error, or `fuel` instructions (an alias of
+    /// [`SpecMachine::run_block`], kept for the harnesses' vocabulary).
+    ///
+    /// [`StepOutcome::Halted::steps`] counts the instructions retired *in
+    /// this call*, so resuming a machine and halting again reports only the
+    /// second leg.
     ///
     /// # Errors
     ///
     /// Any [`MachineError`] other than [`MachineError::Breakpoint`], which
     /// is the halt convention and reported as [`StepOutcome::Halted`].
     pub fn run_until_ebreak(&mut self, fuel: u64) -> Result<StepOutcome, MachineError> {
-        for _ in 0..fuel {
-            match self.step() {
-                Ok(()) => {}
-                Err(MachineError::Breakpoint { .. }) => {
-                    return Ok(StepOutcome::Halted {
-                        steps: self.instret,
-                    });
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(StepOutcome::OutOfFuel)
+        self.run_block(fuel)
     }
 
-    /// Runs exactly `n` instructions or until an error.
+    /// Runs exactly `n` instructions or until an error (including
+    /// [`MachineError::Breakpoint`], which [`SpecMachine::run_block`] would
+    /// instead report as a halt).
     ///
     /// # Errors
     ///
@@ -346,10 +484,10 @@ impl<M: MmioHandler> SpecMachine<M> {
     /// successfully retired instructions recoverable from
     /// [`SpecMachine::instret`].
     pub fn run(&mut self, n: u64) -> Result<(), MachineError> {
-        for _ in 0..n {
-            self.step()?;
+        match self.run_block(n)? {
+            StepOutcome::Halted { .. } => Err(MachineError::Breakpoint { addr: self.pc }),
+            StepOutcome::OutOfFuel => Ok(()),
         }
-        Ok(())
     }
 
     /// Decodes the instruction at the current pc without executing it.
@@ -380,16 +518,21 @@ impl<M: MmioHandler> Primitives for SpecMachine<M> {
                 AccessSize::Half => self.mem.load_u16(addr).unwrap() as u32,
                 AccessSize::Word => self.mem.load_u32(addr).unwrap(),
             })
-        } else if self.mmio.is_mmio(addr, size) {
-            if size != AccessSize::Word || !word::is_aligned(addr, 4) {
-                return Err(MachineError::MmioMisaligned { addr, size });
-            }
-            let value = self.mmio.load(addr, size);
-            self.trace.push(MmioEvent::load(addr, value));
-            self.stats.mmio_event(self.instret, true);
-            Ok(value)
         } else {
-            Err(MachineError::AccessFault { addr, size })
+            // Deliver deferred ticks before the device decides or acts, so
+            // batched runs are indistinguishable from per-step ticking.
+            self.flush_ticks();
+            if self.mmio.is_mmio(addr, size) {
+                if size != AccessSize::Word || !word::is_aligned(addr, 4) {
+                    return Err(MachineError::MmioMisaligned { addr, size });
+                }
+                let value = self.mmio.load(addr, size);
+                self.trace.push(MmioEvent::load(addr, value));
+                self.stats.mmio_event(self.instret, true);
+                Ok(value)
+            } else {
+                Err(MachineError::AccessFault { addr, size })
+            }
         }
     }
 
@@ -404,19 +547,25 @@ impl<M: MmioHandler> Primitives for SpecMachine<M> {
                 AccessSize::Half => self.mem.store_u16(addr, value as u16).unwrap(),
                 AccessSize::Word => self.mem.store_u32(addr, value).unwrap(),
             }
-            // The store revokes executability of the touched bytes (§5.6).
+            // The store revokes executability of the touched bytes (§5.6)
+            // and, with it, any predecoded instruction over them — the
+            // cache staleness discipline is the XAddrs discipline.
             self.xaddrs.remove_range(addr, n);
-            Ok(())
-        } else if self.mmio.is_mmio(addr, size) {
-            if size != AccessSize::Word || !word::is_aligned(addr, 4) {
-                return Err(MachineError::MmioMisaligned { addr, size });
-            }
-            self.mmio.store(addr, size, value);
-            self.trace.push(MmioEvent::store(addr, value));
-            self.stats.mmio_event(self.instret, false);
+            self.icache.invalidate_range(addr, n);
             Ok(())
         } else {
-            Err(MachineError::AccessFault { addr, size })
+            self.flush_ticks();
+            if self.mmio.is_mmio(addr, size) {
+                if size != AccessSize::Word || !word::is_aligned(addr, 4) {
+                    return Err(MachineError::MmioMisaligned { addr, size });
+                }
+                self.mmio.store(addr, size, value);
+                self.trace.push(MmioEvent::store(addr, value));
+                self.stats.mmio_event(self.instret, false);
+                Ok(())
+            } else {
+                Err(MachineError::AccessFault { addr, size })
+            }
         }
     }
 
@@ -476,6 +625,234 @@ mod tests {
         let out = m.run_until_ebreak(10).unwrap();
         assert_eq!(out, StepOutcome::Halted { steps: 2 });
         assert_eq!(m.reg(Reg::X6), 42);
+    }
+
+    #[test]
+    fn halted_steps_count_this_call_not_cumulative() {
+        // Regression: `Halted { steps }` used to report cumulative
+        // `instret`. Halt once, rewind pc, halt again: the second call must
+        // report only its own retired instructions.
+        let mut m = machine_with(&[
+            I::Addi {
+                rd: Reg::X5,
+                rs1: Reg::X0,
+                imm: 1,
+            },
+            I::Addi {
+                rd: Reg::X6,
+                rs1: Reg::X0,
+                imm: 2,
+            },
+            I::Ebreak,
+        ]);
+        assert_eq!(
+            m.run_until_ebreak(10).unwrap(),
+            StepOutcome::Halted { steps: 2 }
+        );
+        m.pc = 4; // resume over the second addi only
+        assert_eq!(
+            m.run_until_ebreak(10).unwrap(),
+            StepOutcome::Halted { steps: 1 },
+            "second call must not include the first call's instret"
+        );
+        assert_eq!(m.instret, 3);
+    }
+
+    #[test]
+    fn icache_counts_hits_and_misses() {
+        // 3-instruction loop run many times: 4 distinct slots miss once
+        // (the 3 loop bodies + ebreak... loop: addi, addi, bne backward).
+        let mut m = machine_with(&[
+            I::Addi {
+                rd: Reg::X5,
+                rs1: Reg::X0,
+                imm: 50,
+            },
+            I::Addi {
+                rd: Reg::X5,
+                rs1: Reg::X5,
+                imm: -1,
+            },
+            I::Bne {
+                rs1: Reg::X5,
+                rs2: Reg::X0,
+                offset: -4,
+            },
+            I::Ebreak,
+        ]);
+        let out = m.run_until_ebreak(1000).unwrap();
+        assert!(matches!(out, StepOutcome::Halted { .. }));
+        assert_eq!(m.stats.icache_misses, 4, "one fill per distinct slot");
+        assert_eq!(
+            m.stats.icache_hits + m.stats.icache_misses,
+            m.instret + 1, // the trapping ebreak fetches but does not retire
+        );
+    }
+
+    #[test]
+    fn disabled_icache_matches_enabled_execution() {
+        let prog = [
+            I::Addi {
+                rd: Reg::X5,
+                rs1: Reg::X0,
+                imm: 5,
+            },
+            I::Addi {
+                rd: Reg::X6,
+                rs1: Reg::X0,
+                imm: 0,
+            },
+            I::Beq {
+                rs1: Reg::X5,
+                rs2: Reg::X0,
+                offset: 16,
+            },
+            I::Add {
+                rd: Reg::X6,
+                rs1: Reg::X6,
+                rs2: Reg::X5,
+            },
+            I::Addi {
+                rd: Reg::X5,
+                rs1: Reg::X5,
+                imm: -1,
+            },
+            I::Jal {
+                rd: Reg::X0,
+                offset: -12,
+            },
+            I::Ebreak,
+        ];
+        let mut cached = machine_with(&prog);
+        let mut uncached = machine_with(&prog);
+        uncached.set_icache_enabled(false);
+        assert_eq!(
+            cached.run_until_ebreak(100).unwrap(),
+            uncached.run_until_ebreak(100).unwrap()
+        );
+        assert_eq!(cached.regs, uncached.regs);
+        assert_eq!(cached.pc, uncached.pc);
+        assert_eq!(cached.instret, uncached.instret);
+        assert_eq!(uncached.stats.icache_hits, 0);
+        assert!(cached.stats.icache_hits > 0);
+    }
+
+    #[test]
+    fn self_modifying_store_kills_cached_decode() {
+        // Warm the cache over a nop slot, overwrite it with an ebreak,
+        // fence.i, and loop back into it: the machine must execute the NEW
+        // instruction, not the predecoded stale one.
+        let ebreak_word = encode(&I::Ebreak);
+        let hi = ebreak_word.wrapping_add(0x800) >> 12;
+        let lo = crate::word::sign_extend(ebreak_word & 0xFFF, 12) as i32;
+        let mut m = machine_with(&[
+            // 0: jump over the patch slot to warm nothing yet
+            I::Addi {
+                rd: Reg::X7,
+                rs1: Reg::X0,
+                imm: 1,
+            },
+            // 4: the slot that gets patched (first pass: nop)
+            I::NOP,
+            // 8: first pass? then patch and loop back
+            I::Beq {
+                rs1: Reg::X7,
+                rs2: Reg::X0,
+                offset: 20, // second pass: skip to final ebreak at 28
+            },
+            I::Lui {
+                rd: Reg::X5,
+                imm20: hi,
+            },
+            I::Addi {
+                rd: Reg::X5,
+                rs1: Reg::X5,
+                imm: lo,
+            },
+            I::Sw {
+                rs1: Reg::X0,
+                rs2: Reg::X5,
+                offset: 4, // patch slot 4 with ebreak
+            },
+            I::FenceI,
+            // 28: set x7=0 and jump back to the patched slot
+            I::Addi {
+                rd: Reg::X7,
+                rs1: Reg::X0,
+                imm: 0,
+            },
+            I::Jal {
+                rd: Reg::X0,
+                offset: -28, // back to address 4
+            },
+        ]);
+        let out = m.run_until_ebreak(50).unwrap();
+        assert!(
+            matches!(out, StepOutcome::Halted { .. }),
+            "patched ebreak must execute: stale cached nop would loop to fuel ({out:?})"
+        );
+        assert_eq!(m.pc, 4, "halted at the patched slot");
+    }
+
+    #[test]
+    fn batched_ticks_match_per_step_ticks() {
+        // A device whose loads expose its tick count: run_block's deferred
+        // tick delivery must be invisible.
+        #[derive(Default)]
+        struct Clock {
+            ticks: u64,
+            batched: u64,
+        }
+        impl MmioHandler for Clock {
+            fn is_mmio(&self, addr: u32, _s: AccessSize) -> bool {
+                addr >= 0x1000_0000
+            }
+            fn load(&mut self, _a: u32, _s: AccessSize) -> u32 {
+                self.ticks as u32
+            }
+            fn store(&mut self, _a: u32, _s: AccessSize, _v: u32) {}
+            fn tick(&mut self) {
+                self.ticks += 1;
+            }
+            fn tick_n(&mut self, n: u64) {
+                self.ticks += n;
+                self.batched += 1;
+            }
+        }
+        let prog = [
+            I::Lui {
+                rd: Reg::X5,
+                imm20: 0x10000,
+            },
+            I::NOP,
+            I::NOP,
+            I::Lw {
+                rd: Reg::X6,
+                rs1: Reg::X5,
+                offset: 0,
+            },
+            I::NOP,
+            I::Lw {
+                rd: Reg::X7,
+                rs1: Reg::X5,
+                offset: 0,
+            },
+            I::Ebreak,
+        ];
+        let words: Vec<u32> = prog.iter().map(encode).collect();
+        let mut stepped = SpecMachine::new(Memory::with_size(0x1000), Clock::default());
+        stepped.load_program(0, &words);
+        while stepped.step().is_ok() {}
+
+        let mut blocked = SpecMachine::new(Memory::with_size(0x1000), Clock::default());
+        blocked.load_program(0, &words);
+        blocked.run_until_ebreak(100).unwrap();
+
+        assert_eq!(stepped.reg(Reg::X6), blocked.reg(Reg::X6));
+        assert_eq!(stepped.reg(Reg::X7), blocked.reg(Reg::X7));
+        assert_eq!(stepped.mmio.ticks, blocked.mmio.ticks);
+        assert_eq!(stepped.trace, blocked.trace);
+        assert!(blocked.mmio.batched > 0, "block path must batch ticks");
     }
 
     #[test]

@@ -114,6 +114,23 @@ pub trait MmioHandler {
 
     /// Advances device-internal time by one instruction/cycle.
     fn tick(&mut self) {}
+
+    /// Advances device-internal time by `n` instructions at once.
+    ///
+    /// The batched stepping loop ([`SpecMachine::run_block`]) accumulates
+    /// ticks across straight-line instruction runs and flushes them here
+    /// immediately before the next MMIO interaction (and at block exit), so
+    /// the handler observes exactly as many ticks before each access as it
+    /// would under per-instruction ticking. The default implementation
+    /// replays `tick` `n` times — always equivalent; handlers whose tick is
+    /// a plain counter (or a no-op) can override it with O(1) work.
+    ///
+    /// [`SpecMachine::run_block`]: crate::SpecMachine::run_block
+    fn tick_n(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
 }
 
 /// A handler that claims no addresses: every non-RAM access is undefined
@@ -140,6 +157,8 @@ impl MmioHandler for NoMmio {
     fn store(&mut self, _addr: u32, _size: AccessSize, _value: u32) {
         unreachable!("NoMmio never claims an address")
     }
+
+    fn tick_n(&mut self, _n: u64) {}
 }
 
 /// Forwarding impl so a `&mut H` can be used wherever a handler is needed.
@@ -158,6 +177,10 @@ impl<H: MmioHandler + ?Sized> MmioHandler for &mut H {
 
     fn tick(&mut self) {
         (**self).tick()
+    }
+
+    fn tick_n(&mut self, n: u64) {
+        (**self).tick_n(n)
     }
 }
 

@@ -64,6 +64,30 @@ impl XAddrs {
         }
     }
 
+    /// [`XAddrs::contains_range`] specialized to the instruction-fetch
+    /// shape: 4 bytes at a 4-aligned address. Because the address is
+    /// aligned, all four bits live in one bitmap word, so the check is a
+    /// single load and mask — this is the hot-path test behind the decode
+    /// cache's fetch fast path.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert that `addr` is 4-aligned; release builds give an
+    /// unspecified (but memory-safe) answer for misaligned addresses.
+    #[inline]
+    pub fn contains_aligned_word(&self, addr: u32) -> bool {
+        debug_assert!(
+            addr.is_multiple_of(4),
+            "contains_aligned_word wants aligned pc"
+        );
+        match addr.checked_add(4) {
+            Some(end) if end <= self.len => {
+                (self.bits[(addr / 64) as usize] >> (addr % 64)) & 0xF == 0xF
+            }
+            _ => false,
+        }
+    }
+
     /// Revokes executability of `n` bytes starting at `addr` (the effect of
     /// a store). Bytes outside the covered range are ignored.
     pub fn remove_range(&mut self, addr: u32, n: u32) {
@@ -163,6 +187,23 @@ mod tests {
         let z = XAddrs::all(0);
         assert!(z.is_empty());
         assert_eq!(z.count(), 0);
+    }
+
+    #[test]
+    fn aligned_word_check_agrees_with_contains_range() {
+        let mut x = XAddrs::all(132);
+        x.remove_range(64, 1);
+        x.remove_range(99, 2);
+        for addr in (0..=136).step_by(4) {
+            assert_eq!(
+                x.contains_aligned_word(addr),
+                x.contains_range(addr, 4),
+                "addr 0x{addr:x}"
+            );
+        }
+        // Spans a u64-word boundary of the bitmap (bits 60..64, 64..68).
+        assert!(x.contains_aligned_word(60));
+        assert!(!x.contains_aligned_word(64));
     }
 
     #[test]

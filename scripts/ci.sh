@@ -19,9 +19,17 @@ for e in quickstart lightbulb_demo malformed_packet_fuzz differential_compiler p
 done
 
 echo "== evaluation tables =="
-for b in table1 table2 table3 table4 fig_perf verif_perf; do
+for b in table1 table2 table3 table4; do
   echo "-- $b"
   cargo run --release -p bench --bin "$b" >/dev/null
+done
+
+echo "== performance bins (wall clock) =="
+for b in fig_perf verif_perf spec_throughput; do
+  start=$(date +%s.%N)
+  cargo run --release -p bench --bin "$b" >/dev/null
+  end=$(date +%s.%N)
+  echo "-- $b: $(echo "$end $start" | awk '{printf "%.2f", $1 - $2}') s"
 done
 
 echo "== bench --json =="

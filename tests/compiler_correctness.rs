@@ -4,28 +4,22 @@
 
 use lightbulb_system::integration::differential::{
     check_compiler_differential, check_isa_consistency, check_optimizer_differential,
-    check_spill_all_differential, DiffError,
+    check_spill_all_differential, default_shards, parallel_sweep, parallel_sweep_with, DiffError,
 };
 use lightbulb_system::integration::progen::{GenConfig, ProgGen};
 
 fn sweep(
     name: &str,
     seeds: std::ops::Range<u64>,
-    mut check: impl FnMut(&bedrock2::Program) -> Result<(), DiffError>,
+    check: impl Fn(&bedrock2::Program) -> Result<(), DiffError> + Sync,
 ) {
-    let total = seeds.end - seeds.start;
-    let mut conclusive = 0;
-    for seed in seeds {
-        let prog = ProgGen::new(seed).gen_program();
-        match check(&prog) {
-            Ok(()) => conclusive += 1,
-            Err(DiffError::SourceUb(_)) => {}
-            Err(e) => panic!("{name}, seed {seed}: {e}\n\nprogram:\n{prog}"),
-        }
-    }
+    let r = parallel_sweep(seeds, default_shards(), check);
+    r.expect_clean(name);
     assert!(
-        conclusive * 2 >= total,
-        "{name}: only {conclusive}/{total} runs were conclusive"
+        r.conclusive * 2 >= r.total,
+        "{name}: only {}/{} runs were conclusive",
+        r.conclusive,
+        r.total
     );
 }
 
@@ -59,16 +53,14 @@ fn bigger_programs_also_agree() {
         max_loop_iters: 12,
         helpers: 3,
     };
-    let mut conclusive = 0;
-    for seed in 3000..3020u64 {
-        let prog = ProgGen::new(seed).with_config(config).gen_program();
-        match check_compiler_differential(&prog, false) {
-            Ok(()) => conclusive += 1,
-            Err(DiffError::SourceUb(_)) => {}
-            Err(e) => panic!("seed {seed}: {e}\n{prog}"),
-        }
-    }
-    assert!(conclusive >= 8, "{conclusive}/20 conclusive");
+    let r = parallel_sweep_with(
+        3000..3020,
+        default_shards(),
+        |seed| ProgGen::new(seed).with_config(config).gen_program(),
+        |p| check_compiler_differential(p, false),
+    );
+    r.expect_clean("bigger-programs");
+    assert!(r.conclusive >= 8, "{}/20 conclusive", r.conclusive);
 }
 
 #[test]
