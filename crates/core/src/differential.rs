@@ -18,11 +18,16 @@
 
 use crate::debug_dev::DebugDevice;
 use crate::progen::ProgGen;
+use crate::system::LightbulbRun;
+use crate::system::{build_image, ProcessorKind, SystemConfig};
 use bedrock2::ast::Program;
 use bedrock2::semantics::Interp;
-use bedrock2_compiler::{compile, CompileOptions, MmioExtCompiler};
-use lightbulb::MmioBridge;
+use bedrock2_compiler::{compile, CompileOptions, CompiledProgram, MmioExtCompiler};
+use devices::{Board, FaultPlan, FrameFault, TrafficGen};
+use lightbulb::{good_hl_trace, probe, MmioBridge};
 use obs::Counters;
+use processor::refinement::ReplayHandler;
+use processor::{Divergence, SingleCycle};
 use riscv_spec::{Memory, MmioEvent, SpecMachine, StepOutcome};
 use std::ops::Range;
 
@@ -55,6 +60,16 @@ pub enum DiffError {
         /// Machine-side event (if any).
         machine: Option<MmioEvent>,
     },
+    /// A run's MMIO trace fell outside the top-level trace specification —
+    /// a driver-hardening bug, or a fault shape the spec does not classify.
+    SpecViolation {
+        /// Events matched before the trace left the specification.
+        matched: usize,
+        /// Total events in the trace.
+        total: usize,
+        /// Which machine model produced the trace.
+        model: &'static str,
+    },
 }
 
 impl std::fmt::Display for DiffError {
@@ -71,6 +86,15 @@ impl std::fmt::Display for DiffError {
             } => write!(
                 f,
                 "trace mismatch at {index}: source {source:?} vs machine {machine:?}"
+            ),
+            DiffError::SpecViolation {
+                matched,
+                total,
+                model,
+            } => write!(
+                f,
+                "spec violation on the {model} model: trace leaves goodHlTrace \
+                 after {matched} of {total} events"
             ),
         }
     }
@@ -284,18 +308,37 @@ pub struct SweepReport {
     pub counters: Counters,
     /// Shards the sweep actually used.
     pub shards: usize,
+    /// First seed of the sweep.
+    pub start: u64,
+    /// Seeds per shard (the last shard may run fewer).
+    pub chunk: u64,
 }
 
 impl SweepReport {
-    /// Panics with the first failing seed, if any — the sweep analogue of
-    /// `Result::unwrap` for test harnesses. Reproduce a reported seed with
-    /// `check(&ProgGen::new(seed).gen_program())`.
+    /// Which shard a seed ran in: seeds are split into contiguous chunks,
+    /// shard 0 first.
+    pub fn shard_of(&self, seed: u64) -> usize {
+        seed.saturating_sub(self.start)
+            .checked_div(self.chunk)
+            .unwrap_or(0) as usize
+    }
+
+    /// Panics with the first failing seed — and the shard it ran in — if
+    /// any: the sweep analogue of `Result::unwrap` for test harnesses.
+    /// The message carries everything a one-liner reproduction needs:
+    /// rerun the named check on exactly that seed (a single-seed range
+    /// with 1 shard), e.g. `check(&ProgGen::new(seed).gen_program())` for
+    /// program sweeps or `fault_check(seed, ..)` for fault sweeps.
     pub fn expect_clean(&self, name: &str) {
         if let Some((seed, e)) = self.failures.first() {
             panic!(
-                "{name}: {} of {} seeds failed; first is seed {seed}: {e}",
+                "{name}: {} of {} seeds failed; first is seed {seed} in shard {}/{} \
+                 (reproduce: rerun the check on seed range {seed}..{} with 1 shard): {e}",
                 self.failures.len(),
-                self.total
+                self.total,
+                self.shard_of(*seed),
+                self.shards,
+                seed + 1,
             );
         }
     }
@@ -336,6 +379,18 @@ where
     G: Fn(u64) -> Program + Sync,
     C: Fn(&Program) -> Result<(), DiffError> + Sync,
 {
+    sweep_seeds(seeds, shards, |seed, _| check(&generate(seed)))
+}
+
+/// The sharding engine behind every sweep: runs `check` once per seed,
+/// split into contiguous chunks across OS threads. `check` may record
+/// per-seed telemetry into the shard's [`Counters`]; summed counters merge
+/// order-insensitively, so reports stay identical across shard counts.
+fn sweep_seeds<C>(seeds: Range<u64>, shards: usize, check: C) -> SweepReport
+where
+    C: Fn(u64, &mut Counters) -> Result<(), DiffError> + Sync,
+{
+    let start = seeds.start;
     let all: Vec<u64> = seeds.collect();
     let shards = shards.clamp(1, all.len().max(1));
     let chunk = all.len().div_ceil(shards);
@@ -355,8 +410,7 @@ where
             counters: Counters::new(),
         };
         for &seed in seeds {
-            let prog = generate(seed);
-            match check(&prog) {
+            match check(seed, &mut shard.counters) {
                 Ok(()) => shard.conclusive += 1,
                 Err(DiffError::SourceUb(_)) => shard.inconclusive += 1,
                 Err(e) => shard.failures.push((seed, e)),
@@ -396,6 +450,8 @@ where
         failures: Vec::new(),
         counters: Counters::new(),
         shards: shards_used,
+        start,
+        chunk: chunk as u64,
     };
     for shard in results {
         report.conclusive += shard.conclusive;
@@ -405,6 +461,202 @@ where
     }
     report.counters.set("core.diff.shards", shards_used as u64);
     report
+}
+
+/// Configuration for [`fault_sweep`]: the system under test and the
+/// per-seed workload.
+#[derive(Clone, Debug)]
+pub struct FaultSweepConfig {
+    /// Base system configuration — driver options, SPI wire speed,
+    /// pipeline shape. The sweep runs it on both the pipelined core and
+    /// the ISA spec machine regardless of its `processor` field.
+    pub system: SystemConfig,
+    /// Command frames injected per run (alternating on/off), each subject
+    /// to the plan's frame faults.
+    pub frames: usize,
+    /// First-pass cycle budget. Most plans finish their whole workload
+    /// well within it; spec-checking cost is linear in trace length, so
+    /// keeping easy runs short is what makes thousand-seed sweeps cheap.
+    pub quick_cycles: u64,
+    /// Full cycle budget, used only when the quick pass did not consume
+    /// the workload (hard register faults and long stalls). Sized so a
+    /// plan's worst case — two failed bring-up attempts plus an RX stall
+    /// and re-initialization — still reaches steady state.
+    pub max_cycles: u64,
+}
+
+impl Default for FaultSweepConfig {
+    fn default() -> FaultSweepConfig {
+        FaultSweepConfig {
+            system: SystemConfig::default(),
+            frames: 3,
+            quick_cycles: 250_000,
+            max_cycles: 800_000,
+        }
+    }
+}
+
+/// Checks one seeded fault plan end to end (one [`fault_sweep`] unit):
+///
+/// 1. the **pipelined processor** runs the image against a board faulted
+///    by `FaultPlan::from_seed(seed)`; its trace must stay a prefix of
+///    `goodHlTrace` (the hardened drivers must classify every injected
+///    fault as a recoverable-failure shape);
+/// 2. the **ISA spec machine** runs against a fresh, identically faulted
+///    board; the run must be UB-free and its trace must also satisfy the
+///    spec (faults are interaction-keyed, so the same plan is meaningful
+///    on both models even though their tick rates differ);
+/// 3. the pipelined trace is **replayed** into the single-cycle spec core
+///    ([`ReplayHandler`]): under the same input nondeterminism the spec
+///    core must produce the identical trace, so the faulted run still
+///    refines the ISA.
+///
+/// Driver-recovery telemetry (`devices.faults.injected`, `driver.retries`,
+/// `driver.reinit`) is added to `counters`. Reproduce a sweep failure with
+/// `fault_check(seed, &cfg, &build_image(&cfg.system), &mut Counters::new())`.
+///
+/// # Errors
+///
+/// [`DiffError::SpecViolation`] when a trace leaves the specification,
+/// [`DiffError::MachineError`] when the spec machine flags UB, and
+/// [`DiffError::TraceMismatch`] when the replay diverges.
+pub fn fault_check(
+    seed: u64,
+    cfg: &FaultSweepConfig,
+    image: &CompiledProgram,
+    counters: &mut Counters,
+) -> Result<(), DiffError> {
+    let plan = FaultPlan::from_seed(seed);
+    let mut gen = TrafficGen::new(seed);
+    let frames: Vec<Vec<u8>> = (0..cfg.frames).map(|i| gen.command(i % 2 == 0)).collect();
+    let spec = good_hl_trace(cfg.system.driver);
+
+    // Frames the plan drops never reach the chip; everything else must be
+    // consumed (status popped, pending queue empty) for a run to count as
+    // "workload done".
+    let expected_arrivals = cfg.frames as u64
+        - plan
+            .frame_faults
+            .iter()
+            .filter(|(i, f)| (*i as usize) < cfg.frames && matches!(f, FrameFault::Drop))
+            .count() as u64;
+    let done = |run: &LightbulbRun| {
+        run.report.counters.get("board.lan9250.frames_delivered") >= expected_arrivals
+            && run.report.counters.get("board.lan9250.frames_pending") == 0
+    };
+    // Adaptive budget: a quick pass suffices for most plans; rerun from
+    // scratch with the full budget when faults kept the workload from
+    // finishing. Both passes are pure functions of the seed, so results
+    // stay deterministic across runs and shard counts.
+    let run_on = |kind: ProcessorKind| {
+        let mut sys = cfg.system;
+        sys.processor = kind;
+        let quick = sys.run_faulted(image, &plan, &frames, cfg.quick_cycles);
+        if done(&quick) || cfg.max_cycles <= cfg.quick_cycles {
+            quick
+        } else {
+            sys.run_faulted(image, &plan, &frames, cfg.max_cycles)
+        }
+    };
+
+    let pipe = run_on(ProcessorKind::Pipelined);
+    let activity = probe::scan(&pipe.events);
+    counters.add(
+        "devices.faults.injected",
+        pipe.report.counters.get("devices.faults.injected"),
+    );
+    counters.add("driver.retries", activity.retries);
+    counters.add("driver.reinit", activity.reinits);
+    if !spec.matches_prefix(&pipe.events) {
+        return Err(DiffError::SpecViolation {
+            matched: spec.longest_matching_prefix(&pipe.events),
+            total: pipe.events.len(),
+            model: "pipelined",
+        });
+    }
+
+    let sm = run_on(ProcessorKind::SpecMachine);
+    if let Some(e) = sm.error {
+        return Err(DiffError::MachineError(format!(
+            "spec machine under fault plan {seed}: {e}"
+        )));
+    }
+    if !spec.matches_prefix(&sm.events) {
+        return Err(DiffError::SpecViolation {
+            matched: spec.longest_matching_prefix(&sm.events),
+            total: sm.events.len(),
+            model: "spec machine",
+        });
+    }
+
+    replay_into_spec_core(image, cfg.system.ram_bytes, &pipe.events, cfg.max_cycles)
+}
+
+/// Replays a recorded MMIO trace into the single-cycle spec core and
+/// requires it to reproduce the trace exactly (the §5.7 refinement
+/// statement, applied to a faulted run whose trace we already hold).
+fn replay_into_spec_core(
+    image: &CompiledProgram,
+    ram_bytes: u32,
+    events: &[MmioEvent],
+    max_cycles: u64,
+) -> Result<(), DiffError> {
+    let replay = ReplayHandler::new(events.to_vec(), Board::claims);
+    let mut core = SingleCycle::new(&image.bytes(), ram_bytes, replay);
+    // The event loop never halts: run until the core has consumed every
+    // recorded event (running further would overrun the replay queue,
+    // which is not a divergence) or diverges. One instruction consumes at
+    // most one event, so an event-bounded block cannot overrun, and
+    // divergence is sticky inside `ReplayHandler`.
+    while !core.halted && core.cycle < max_cycles {
+        let remaining = events.len() - core.mem.mmio.consumed();
+        if remaining == 0 {
+            break;
+        }
+        let block = (max_cycles - core.cycle).min(1024).min(remaining as u64);
+        core.run_block(block);
+        if core.mem.mmio.divergence().is_some() {
+            break;
+        }
+    }
+    if let Some(d) = core.mem.mmio.divergence() {
+        return match d {
+            Divergence::TraceMismatch {
+                index,
+                implementation,
+                spec,
+            } => Err(DiffError::TraceMismatch {
+                index: *index,
+                source: *implementation,
+                machine: Some(*spec),
+            }),
+            other => Err(DiffError::MachineError(format!(
+                "replay divergence: {other:?}"
+            ))),
+        };
+    }
+    let replayed = core.mem.events();
+    let n = replayed.len().min(events.len());
+    if let Some(i) = (0..n).find(|&i| replayed[i] != events[i]) {
+        return Err(DiffError::TraceMismatch {
+            index: i,
+            source: Some(events[i]),
+            machine: Some(replayed[i]),
+        });
+    }
+    Ok(())
+}
+
+/// Sweeps seeded fault plans through [`fault_check`], sharded like
+/// [`parallel_sweep`]. The boot image is compiled once and shared across
+/// shards; each seed builds its own trace predicate (they are `Rc`-based
+/// and stay thread-local). The report's counters carry the sweep's
+/// aggregate fault/recovery telemetry.
+pub fn fault_sweep(seeds: Range<u64>, shards: usize, cfg: &FaultSweepConfig) -> SweepReport {
+    let image = build_image(&cfg.system);
+    sweep_seeds(seeds, shards, |seed, counters| {
+        fault_check(seed, cfg, &image, counters)
+    })
 }
 
 #[cfg(test)]

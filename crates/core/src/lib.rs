@@ -36,7 +36,10 @@ pub mod liveness;
 pub mod progen;
 pub mod system;
 
-pub use differential::{check_compiler_differential, check_isa_consistency, DiffError};
+pub use differential::{
+    check_compiler_differential, check_isa_consistency, fault_check, fault_sweep, DiffError,
+    FaultSweepConfig, SweepReport,
+};
 pub use end_to_end::{end_to_end_lightbulb, EndToEndError, IntegrationReport};
 pub use liveness::{check_event_loop_liveness, LivenessError, LivenessReport};
 pub use system::{build_image, LightbulbRun, ProcessorKind, RunReport, SystemConfig};

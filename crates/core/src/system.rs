@@ -8,7 +8,7 @@
 //! the MMIO trace.
 
 use bedrock2_compiler::{compile, CompileOptions, CompiledProgram, Entry, MmioExtCompiler};
-use devices::{Board, SpiConfig};
+use devices::{Board, FaultPlan, SpiConfig};
 use lightbulb::{lightbulb_program, DriverOptions};
 use obs::{Counters, Event, MemSink};
 use processor::{PipelineConfig, Pipelined, SingleCycle};
@@ -150,6 +150,20 @@ impl SystemConfig {
         self.run_inner(frames, max_cycles, Some(MemSink::default()))
     }
 
+    /// Like [`SystemConfig::run`], but on a prebuilt `image` and a board
+    /// whose devices misbehave according to `plan`. Fault sweeps compile
+    /// the image once and call this per seed; with [`FaultPlan::none`] it
+    /// is exactly [`SystemConfig::run`] minus the compile.
+    pub fn run_faulted(
+        &self,
+        image: &CompiledProgram,
+        plan: &FaultPlan,
+        frames: &[Vec<u8>],
+        max_cycles: u64,
+    ) -> LightbulbRun {
+        self.run_built(image, plan, frames, max_cycles, None)
+    }
+
     fn run_inner(
         &self,
         frames: &[Vec<u8>],
@@ -157,11 +171,22 @@ impl SystemConfig {
         sink: Option<MemSink>,
     ) -> LightbulbRun {
         let image = build_image(self);
+        self.run_built(&image, &FaultPlan::none(), frames, max_cycles, sink)
+    }
+
+    fn run_built(
+        &self,
+        image: &CompiledProgram,
+        plan: &FaultPlan,
+        frames: &[Vec<u8>],
+        max_cycles: u64,
+        sink: Option<MemSink>,
+    ) -> LightbulbRun {
         let mut report = RunReport {
             counters: image.stats.counters(),
             ..RunReport::default()
         };
-        let mut board = Board::new(self.spi);
+        let mut board = Board::with_faults(self.spi, plan);
         for f in frames {
             board.inject_frame(f);
         }

@@ -7,6 +7,7 @@
 //! bridge) the Bedrock2 interpreter — which is what lets one device model
 //! stand behind every layer's testing.
 
+use crate::faults::FaultPlan;
 use crate::gpio::Gpio;
 use crate::lan9250::Lan9250;
 use crate::spi::{Spi, SpiConfig};
@@ -40,11 +41,23 @@ impl Default for Board {
 impl Board {
     /// A freshly powered-on board.
     pub fn new(spi_config: SpiConfig) -> Board {
+        Board::with_faults(spi_config, &FaultPlan::none())
+    }
+
+    /// A board whose devices misbehave according to `plan`: the wire-level
+    /// faults go to the SPI controller, the chip-level ones to the LAN9250.
+    /// With [`FaultPlan::none`] this is exactly [`Board::new`].
+    pub fn with_faults(spi_config: SpiConfig, plan: &FaultPlan) -> Board {
         Board {
-            spi: Spi::new(Lan9250::new(), spi_config),
+            spi: Spi::with_faults(Lan9250::with_faults(plan), spi_config, plan),
             gpio: Gpio::new(),
             ticks: 0,
         }
+    }
+
+    /// Fault events actually injected so far, across both device layers.
+    pub fn faults_injected(&self) -> u64 {
+        self.spi.faults_injected() + self.spi.slave.faults_injected()
     }
 
     /// Queues an Ethernet frame at the network interface.
@@ -86,6 +99,7 @@ impl Board {
             "board.lan9250.frames_pending",
             self.spi.slave.frames_pending() as u64,
         );
+        c.set("devices.faults.injected", self.faults_injected());
         c
     }
 

@@ -1,0 +1,461 @@
+//! Seeded, deterministic fault injection for the device stack.
+//!
+//! The paper's driver proofs are stated against a *nondeterministic* device
+//! spec: `lan_init`'s timeout loops exist because the LAN9250 is allowed to
+//! answer `BYTE_TEST` with junk forever, and the correctness theorem only
+//! promises good behaviour on traces the device spec admits (§3, §4.3).
+//! Our executable models are normally maximally well-behaved, which leaves
+//! every recovery path in the drivers untested. A [`FaultPlan`] closes that
+//! gap: it is a pure-data schedule of device misbehaviour, derived from a
+//! seed, that `Spi`/`Lan9250`/`Board` consult at well-defined points.
+//!
+//! Two properties are load-bearing:
+//!
+//! - **Determinism.** A plan is a function of its seed alone, and every
+//!   trigger is keyed on an *interaction count* (the Nth completed wire
+//!   exchange, the Nth byte actually delivered to the CPU, the Nth read of
+//!   a specific register, the Nth injected frame) — never on device ticks
+//!   or wall time. Interaction counts are reproducible run-to-run and
+//!   shard-count-invariant, which is what lets `differential::fault_sweep`
+//!   replay the same plan against the spec machine and the pipelined
+//!   processor.
+//! - **Zero cost when absent.** [`FaultPlan::none`] compiles down to a
+//!   single `bool` test on the device hot paths, so the fault layer cannot
+//!   regress the throughput numbers in `BENCH_spec_throughput.json`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// What happens to one injected Ethernet frame on its way into the RX FIFO.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameFault {
+    /// The frame is silently lost (never enters the FIFO).
+    Drop,
+    /// Only the first `n` bytes arrive.
+    Truncate(usize),
+    /// One byte at `offset % len` is flipped with `xor`.
+    Corrupt { offset: usize, xor: u8 },
+}
+
+/// A deterministic schedule of device misbehaviour.
+///
+/// All index fields are sorted ascending by their trigger count. The plan
+/// is split into [`WireFaults`] (owned by the SPI controller) and
+/// [`LanFaults`] (owned by the LAN9250 model) when a board is built with
+/// [`crate::Board::with_faults`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed this plan was derived from (0 for hand-built plans).
+    pub seed: u64,
+    /// `BYTE_TEST` answers junk (`0xFFFF_FFFF`) for this many reads.
+    pub byte_test_junk_reads: u32,
+    /// `HW_CFG` reports not-ready for this many reads.
+    pub hw_cfg_notready_reads: u32,
+    /// `MAC_CSR_CMD` reports busy for this many reads.
+    pub mac_busy_reads: u32,
+    /// `RX_FIFO_INF` read indices that report a phantom pending frame
+    /// (a spurious RX-pending flag with nothing behind it).
+    pub spurious_rx_reads: Vec<u64>,
+    /// `(exchange index, xor)`: the MISO byte of that completed wire
+    /// exchange is corrupted. MOSI is never touched — the chip still sees
+    /// what the driver sent.
+    pub wire_garbage: Vec<(u64, u8)>,
+    /// `(delivered-byte index, extra reads)`: once that many RX bytes have
+    /// been delivered to the CPU, the next `extra reads` of `RXDATA` are
+    /// forced empty (the controller stalls).
+    pub rx_stalls: Vec<(u64, u32)>,
+    /// `(injection index, fault)`: what happens to the Nth injected frame.
+    pub frame_faults: Vec<(u64, FrameFault)>,
+}
+
+/// The `lan_init` per-phase poll budget is `layout::INIT_TIMEOUT + 1 = 65`
+/// reads; register-fault magnitudes below are calibrated against it so a
+/// plan forces at most two failed init attempts on one register, which a
+/// driver with `LAN_INIT_RETRIES = 3` always survives.
+const INIT_POLL_BUDGET: u32 = 65;
+
+/// Longest stall a plan may schedule. Must stay below one full timed-out
+/// pipelined readword (7 gets x 65 polls = 455 reads) so stalled bytes
+/// never pile past the 8-deep RX FIFO and start dropping — drops would be
+/// timing- (and therefore model-) dependent.
+const MAX_STALL_READS: u32 = 400;
+
+impl FaultPlan {
+    /// The empty plan: no faults, and (via [`FaultPlan::is_none`]) a
+    /// single-branch check on the device hot paths.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when the plan schedules nothing at all.
+    pub fn is_none(&self) -> bool {
+        self.byte_test_junk_reads == 0
+            && self.hw_cfg_notready_reads == 0
+            && self.mac_busy_reads == 0
+            && self.spurious_rx_reads.is_empty()
+            && self.wire_garbage.is_empty()
+            && self.rx_stalls.is_empty()
+            && self.frame_faults.is_empty()
+    }
+
+    /// Total number of scheduled fault events (an upper bound on what a
+    /// run can actually inject).
+    pub fn scheduled(&self) -> u64 {
+        (self.byte_test_junk_reads + self.hw_cfg_notready_reads + self.mac_busy_reads) as u64
+            + self.spurious_rx_reads.len() as u64
+            + self.wire_garbage.len() as u64
+            + self.rx_stalls.iter().map(|(_, n)| *n as u64).sum::<u64>()
+            + self.frame_faults.len() as u64
+    }
+
+    /// Derives a plan from a seed. Same seed ⇒ same plan, on every model.
+    ///
+    /// The distribution is calibrated so every plan is *recoverable* by the
+    /// hardened drivers: at most one register gets a "hard" fault (longer
+    /// than one poll budget, forcing failed init attempts), capped at two
+    /// budgets' worth; stalls are bounded by [`MAX_STALL_READS`].
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        };
+
+        // One register misbehaves per plan: softly (absorbed by a single
+        // poll loop) or hard (needs retry), or not at all.
+        let soft = 1..=(INIT_POLL_BUDGET - 5);
+        let hard = (INIT_POLL_BUDGET + 1)..=(2 * INIT_POLL_BUDGET);
+        match rng.random_range(0..7u32) {
+            0 => plan.byte_test_junk_reads = rng.random_range(soft),
+            1 => plan.byte_test_junk_reads = rng.random_range(hard),
+            2 => plan.hw_cfg_notready_reads = rng.random_range(soft),
+            3 => plan.hw_cfg_notready_reads = rng.random_range(hard),
+            4 => plan.mac_busy_reads = rng.random_range(soft),
+            5 => plan.mac_busy_reads = rng.random_range(hard),
+            _ => {}
+        }
+
+        // Transient MISO garbage on a few wire exchanges.
+        for _ in 0..rng.random_range(0..=5u32) {
+            plan.wire_garbage
+                .push((rng.random_range(0..3000), rng.random_range(1..=255u8)));
+        }
+        plan.wire_garbage.sort_unstable();
+
+        // At most two RX stalls, far enough apart that they never overlap
+        // (a stall only arms after deliveries resume).
+        for _ in 0..rng.random_range(0..=2u32) {
+            plan.rx_stalls.push((
+                rng.random_range(0..1200),
+                rng.random_range(1..=MAX_STALL_READS),
+            ));
+        }
+        plan.rx_stalls.sort_unstable();
+        plan.rx_stalls.dedup_by_key(|(i, _)| *i);
+
+        // Spurious RX-pending flags early in the run.
+        for _ in 0..rng.random_range(0..=2u32) {
+            plan.spurious_rx_reads.push(rng.random_range(0..80));
+        }
+        plan.spurious_rx_reads.sort_unstable();
+        plan.spurious_rx_reads.dedup();
+
+        // Frame-level faults on the first few injected frames.
+        for idx in 0..4u64 {
+            if rng.random_range(0..4u32) == 0 {
+                let fault = match rng.random_range(0..3u32) {
+                    0 => FrameFault::Drop,
+                    1 => FrameFault::Truncate(rng.random_range(0..60)),
+                    _ => FrameFault::Corrupt {
+                        offset: rng.random_range(0..64),
+                        xor: rng.random_range(1..=255u8),
+                    },
+                };
+                plan.frame_faults.push((idx, fault));
+            }
+        }
+
+        plan
+    }
+
+    /// The wire-level half of the plan, for the SPI controller.
+    pub(crate) fn wire_faults(&self) -> WireFaults {
+        WireFaults {
+            active: !self.wire_garbage.is_empty() || !self.rx_stalls.is_empty(),
+            garbage: self.wire_garbage.clone(),
+            stalls: self.rx_stalls.clone(),
+            next_garbage: 0,
+            next_stall: 0,
+            stall_left: 0,
+            exchanges: 0,
+            delivered: 0,
+            injected: 0,
+        }
+        .armed()
+    }
+
+    /// The chip-level half of the plan, for the LAN9250 model.
+    pub(crate) fn lan_faults(&self) -> LanFaults {
+        LanFaults {
+            active: self.byte_test_junk_reads != 0
+                || self.hw_cfg_notready_reads != 0
+                || self.mac_busy_reads != 0
+                || !self.spurious_rx_reads.is_empty()
+                || !self.frame_faults.is_empty(),
+            byte_test_junk: self.byte_test_junk_reads,
+            hw_cfg_notready: self.hw_cfg_notready_reads,
+            mac_busy: self.mac_busy_reads,
+            spurious_rx: self.spurious_rx_reads.clone(),
+            frame_faults: self.frame_faults.clone(),
+            next_spurious: 0,
+            next_frame_fault: 0,
+            byte_test_reads: 0,
+            hw_cfg_reads: 0,
+            mac_cmd_reads: 0,
+            fifo_inf_reads: 0,
+            frames_seen: 0,
+            injected: 0,
+        }
+    }
+}
+
+/// Runtime state for the wire-level faults, owned by [`crate::Spi`].
+#[derive(Clone, Debug)]
+pub(crate) struct WireFaults {
+    active: bool,
+    garbage: Vec<(u64, u8)>,
+    stalls: Vec<(u64, u32)>,
+    next_garbage: usize,
+    next_stall: usize,
+    stall_left: u32,
+    exchanges: u64,
+    delivered: u64,
+    /// Fault events actually injected so far.
+    pub(crate) injected: u64,
+}
+
+impl WireFaults {
+    /// True when any wire fault is scheduled; the *only* check on the SPI
+    /// hot paths.
+    #[inline]
+    pub(crate) fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Arms a stall scheduled at delivered-index 0 (before any delivery).
+    fn armed(mut self) -> WireFaults {
+        self.check_arm();
+        self
+    }
+
+    fn check_arm(&mut self) {
+        if let Some((at, reads)) = self.stalls.get(self.next_stall).copied() {
+            if at == self.delivered {
+                self.stall_left = reads;
+                self.next_stall += 1;
+            }
+        }
+    }
+
+    /// Filters the MISO byte of a completed exchange. Called once per
+    /// exchange, in wire order, so the exchange index is model-invariant.
+    pub(crate) fn on_exchange(&mut self, miso: u8) -> u8 {
+        let idx = self.exchanges;
+        self.exchanges += 1;
+        let mut out = miso;
+        while let Some((at, xor)) = self.garbage.get(self.next_garbage).copied() {
+            if at != idx {
+                break;
+            }
+            out ^= xor;
+            self.next_garbage += 1;
+            self.injected += 1;
+        }
+        out
+    }
+
+    /// True when a stall forces this `RXDATA` read to come back empty
+    /// regardless of FIFO contents. Each forced read consumes stall budget,
+    /// so consumption is keyed on reads-while-stalled — identical across
+    /// models because no model can pop a byte while the stall holds.
+    pub(crate) fn stall_read(&mut self) -> bool {
+        if self.stall_left > 0 {
+            self.stall_left -= 1;
+            self.injected += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a byte actually delivered to the CPU and arms any stall
+    /// scheduled at the new delivered count.
+    pub(crate) fn on_delivered(&mut self) {
+        self.delivered += 1;
+        self.check_arm();
+    }
+}
+
+/// Runtime state for the chip-level faults, owned by [`crate::Lan9250`].
+#[derive(Clone, Debug)]
+pub(crate) struct LanFaults {
+    active: bool,
+    byte_test_junk: u32,
+    hw_cfg_notready: u32,
+    mac_busy: u32,
+    spurious_rx: Vec<u64>,
+    frame_faults: Vec<(u64, FrameFault)>,
+    next_spurious: usize,
+    next_frame_fault: usize,
+    byte_test_reads: u64,
+    hw_cfg_reads: u64,
+    mac_cmd_reads: u64,
+    fifo_inf_reads: u64,
+    frames_seen: u64,
+    /// Fault events actually injected so far.
+    pub(crate) injected: u64,
+}
+
+impl LanFaults {
+    /// True when any chip fault is scheduled; the *only* check on the
+    /// register-read hot path.
+    #[inline]
+    pub(crate) fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// `Some(junk)` when this `BYTE_TEST` read is still in the junk window.
+    pub(crate) fn byte_test(&mut self) -> Option<u32> {
+        self.byte_test_reads += 1;
+        if self.byte_test_reads <= self.byte_test_junk as u64 {
+            self.injected += 1;
+            Some(0xFFFF_FFFF)
+        } else {
+            None
+        }
+    }
+
+    /// `Some(0)` when this `HW_CFG` read still reports not-ready.
+    pub(crate) fn hw_cfg(&mut self) -> Option<u32> {
+        self.hw_cfg_reads += 1;
+        if self.hw_cfg_reads <= self.hw_cfg_notready as u64 {
+            self.injected += 1;
+            Some(0)
+        } else {
+            None
+        }
+    }
+
+    /// `Some(busy)` when this `MAC_CSR_CMD` read still reports busy.
+    pub(crate) fn mac_csr_cmd(&mut self, busy: u32) -> Option<u32> {
+        self.mac_cmd_reads += 1;
+        if self.mac_cmd_reads <= self.mac_busy as u64 {
+            self.injected += 1;
+            Some(busy)
+        } else {
+            None
+        }
+    }
+
+    /// True when this `RX_FIFO_INF` read should report a phantom frame.
+    /// The schedule slot is consumed whether or not the phantom fires (a
+    /// real frame pending at that read masks it), keeping counts seeded.
+    pub(crate) fn spurious_rx(&mut self, really_pending: bool) -> bool {
+        let idx = self.fifo_inf_reads;
+        self.fifo_inf_reads += 1;
+        match self.spurious_rx.get(self.next_spurious) {
+            Some(&at) if at == idx => {
+                self.next_spurious += 1;
+                if really_pending {
+                    false
+                } else {
+                    self.injected += 1;
+                    true
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// The fault (if any) scheduled for the frame being injected now.
+    pub(crate) fn frame_fault(&mut self) -> Option<FrameFault> {
+        let idx = self.frames_seen;
+        self.frames_seen += 1;
+        match self.frame_faults.get(self.next_frame_fault) {
+            Some(&(at, fault)) if at == idx => {
+                self.next_frame_fault += 1;
+                self.injected += 1;
+                Some(fault)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none() {
+        assert!(FaultPlan::none().is_none());
+        assert_eq!(FaultPlan::none().scheduled(), 0);
+        assert!(!FaultPlan::none().wire_faults().is_active());
+        assert!(!FaultPlan::none().lan_faults().is_active());
+    }
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        for seed in 0..256u64 {
+            assert_eq!(FaultPlan::from_seed(seed), FaultPlan::from_seed(seed));
+        }
+    }
+
+    #[test]
+    fn schedules_are_sorted_and_bounded() {
+        for seed in 0..512u64 {
+            let p = FaultPlan::from_seed(seed);
+            assert!(p.wire_garbage.windows(2).all(|w| w[0].0 <= w[1].0));
+            assert!(p.rx_stalls.windows(2).all(|w| w[0].0 < w[1].0));
+            assert!(p.spurious_rx_reads.windows(2).all(|w| w[0] < w[1]));
+            assert!(p.frame_faults.windows(2).all(|w| w[0].0 < w[1].0));
+            assert!(p.rx_stalls.iter().all(|(_, n)| *n <= MAX_STALL_READS));
+            // At most one register fault, capped at two poll budgets, so
+            // bounded retries always recover.
+            let regs = [
+                p.byte_test_junk_reads,
+                p.hw_cfg_notready_reads,
+                p.mac_busy_reads,
+            ];
+            assert!(regs.iter().filter(|r| **r != 0).count() <= 1);
+            assert!(regs.iter().all(|r| *r <= 2 * INIT_POLL_BUDGET));
+        }
+    }
+
+    #[test]
+    fn stall_budget_counts_reads() {
+        let plan = FaultPlan {
+            rx_stalls: vec![(0, 3)],
+            ..FaultPlan::default()
+        };
+        let mut w = plan.wire_faults();
+        assert!(w.is_active());
+        assert!(w.stall_read());
+        assert!(w.stall_read());
+        assert!(w.stall_read());
+        assert!(!w.stall_read());
+        assert_eq!(w.injected, 3);
+    }
+
+    #[test]
+    fn garbage_composes_at_one_index() {
+        let plan = FaultPlan {
+            wire_garbage: vec![(1, 0x0F), (1, 0xF0)],
+            ..FaultPlan::default()
+        };
+        let mut w = plan.wire_faults();
+        assert_eq!(w.on_exchange(0x00), 0x00);
+        assert_eq!(w.on_exchange(0x00), 0xFF);
+        assert_eq!(w.on_exchange(0x00), 0x00);
+    }
+}

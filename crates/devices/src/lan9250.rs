@@ -24,6 +24,7 @@
 //! Tests inject frames with [`Lan9250::inject_frame`]; nothing is visible
 //! to software until the MAC's receive enable is set.
 
+use crate::faults::{FaultPlan, FrameFault, LanFaults};
 use crate::spi::SpiSlave;
 use std::collections::VecDeque;
 
@@ -86,6 +87,7 @@ pub struct Lan9250 {
     pub frames_delivered: u64,
     /// Frames discarded via `RX_DP_CTRL`.
     pub frames_discarded: u64,
+    faults: LanFaults,
 }
 
 impl Default for Lan9250 {
@@ -97,6 +99,13 @@ impl Default for Lan9250 {
 impl Lan9250 {
     /// A powered-up controller that becomes READY after a short delay.
     pub fn new() -> Lan9250 {
+        Lan9250::with_faults(&FaultPlan::none())
+    }
+
+    /// A controller that injects the chip-level half of `plan`: delayed
+    /// register readiness, spurious RX-pending flags, and frame-level
+    /// faults. With [`FaultPlan::none`] this is exactly [`Lan9250::new`].
+    pub fn with_faults(plan: &FaultPlan) -> Lan9250 {
         Lan9250 {
             state: SpiState::Idle,
             ready_countdown: 16,
@@ -106,12 +115,38 @@ impl Lan9250 {
             current: VecDeque::new(),
             frames_delivered: 0,
             frames_discarded: 0,
+            faults: plan.lan_faults(),
         }
     }
 
+    /// Chip-level fault events injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.injected
+    }
+
     /// Queues an Ethernet frame for reception. It becomes visible to
-    /// software once the MAC receive enable is on.
+    /// software once the MAC receive enable is on. A scheduled frame fault
+    /// may drop, truncate, or corrupt it on the way in.
     pub fn inject_frame(&mut self, frame: &[u8]) {
+        if self.faults.is_active() {
+            match self.faults.frame_fault() {
+                Some(FrameFault::Drop) => return,
+                Some(FrameFault::Truncate(n)) => {
+                    self.pending.push_back(frame[..n.min(frame.len())].to_vec());
+                    return;
+                }
+                Some(FrameFault::Corrupt { offset, xor }) => {
+                    let mut bytes = frame.to_vec();
+                    if !bytes.is_empty() {
+                        let at = offset % bytes.len();
+                        bytes[at] ^= xor;
+                    }
+                    self.pending.push_back(bytes);
+                    return;
+                }
+                None => {}
+            }
+        }
         self.pending.push_back(frame.to_vec());
     }
 
@@ -125,7 +160,33 @@ impl Lan9250 {
         self.pending.len()
     }
 
+    /// Scheduled register-read faults; `Some(v)` overrides the true value.
+    /// Per-register read counts advance here, so fault windows are keyed on
+    /// how often software looked — identical across machine models.
+    fn fault_reg_read(&mut self, addr: u16) -> Option<u32> {
+        match addr {
+            BYTE_TEST => self.faults.byte_test(),
+            HW_CFG => self.faults.hw_cfg(),
+            MAC_CSR_CMD => self.faults.mac_csr_cmd(MAC_CSR_BUSY),
+            RX_FIFO_INF => {
+                let really_pending = !self.pending.is_empty();
+                if self.faults.spurious_rx(really_pending) {
+                    // Phantom frame: one status word advertised, no data.
+                    Some(1 << 16 | (self.current.len() as u32 & 0xFFFF))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
     fn reg_read(&mut self, addr: u16) -> u32 {
+        if self.faults.is_active() {
+            if let Some(v) = self.fault_reg_read(addr) {
+                return v;
+            }
+        }
         match addr {
             RX_STATUS_FIFO => {
                 if !self.rx_enabled() {
@@ -408,6 +469,86 @@ mod tests {
         assert_eq!(dev.exchange(0x99), 0xFF);
         dev.cs_high();
         assert_eq!(spi_read(&mut dev, BYTE_TEST), BYTE_TEST_MAGIC);
+    }
+
+    #[test]
+    fn delayed_byte_test_answers_junk_then_magic() {
+        let plan = FaultPlan {
+            byte_test_junk_reads: 2,
+            ..FaultPlan::default()
+        };
+        let mut dev = Lan9250::with_faults(&plan);
+        ready(&mut dev);
+        assert_eq!(spi_read(&mut dev, BYTE_TEST), 0xFFFF_FFFF);
+        assert_eq!(spi_read(&mut dev, BYTE_TEST), 0xFFFF_FFFF);
+        assert_eq!(spi_read(&mut dev, BYTE_TEST), BYTE_TEST_MAGIC);
+        assert_eq!(dev.faults_injected(), 2);
+    }
+
+    #[test]
+    fn mac_csr_needs_extra_polls() {
+        let plan = FaultPlan {
+            mac_busy_reads: 3,
+            ..FaultPlan::default()
+        };
+        let mut dev = Lan9250::with_faults(&plan);
+        ready(&mut dev);
+        enable_rx(&mut dev); // the strobe itself still lands
+        for _ in 0..3 {
+            assert_eq!(spi_read(&mut dev, MAC_CSR_CMD) & MAC_CSR_BUSY, MAC_CSR_BUSY);
+        }
+        assert_eq!(spi_read(&mut dev, MAC_CSR_CMD) & MAC_CSR_BUSY, 0);
+        assert!(dev.rx_enabled());
+    }
+
+    #[test]
+    fn spurious_rx_pending_advertises_a_phantom_frame() {
+        let plan = FaultPlan {
+            spurious_rx_reads: vec![0],
+            ..FaultPlan::default()
+        };
+        let mut dev = Lan9250::with_faults(&plan);
+        ready(&mut dev);
+        enable_rx(&mut dev);
+        assert_eq!(spi_read(&mut dev, RX_FIFO_INF) >> 16 & 0xFF, 1, "phantom");
+        // The status FIFO has nothing behind it; a zero-length status is
+        // what the driver's length check rejects.
+        assert_eq!(spi_read(&mut dev, RX_STATUS_FIFO), 0);
+        assert_eq!(spi_read(&mut dev, RX_FIFO_INF) >> 16 & 0xFF, 0);
+    }
+
+    #[test]
+    fn frame_faults_drop_truncate_corrupt() {
+        let plan = FaultPlan {
+            frame_faults: vec![
+                (0, FrameFault::Drop),
+                (1, FrameFault::Truncate(2)),
+                (
+                    2,
+                    FrameFault::Corrupt {
+                        offset: 1,
+                        xor: 0x80,
+                    },
+                ),
+            ],
+            ..FaultPlan::default()
+        };
+        let mut dev = Lan9250::with_faults(&plan);
+        ready(&mut dev);
+        enable_rx(&mut dev);
+        dev.inject_frame(&[1, 2, 3, 4]); // dropped
+        assert_eq!(dev.frames_pending(), 0);
+        dev.inject_frame(&[1, 2, 3, 4]); // truncated to 2 bytes
+        let status = spi_read(&mut dev, RX_STATUS_FIFO);
+        assert_eq!(status >> 16 & 0x3FFF, 2);
+        assert_eq!(spi_read(&mut dev, RX_DATA_FIFO) & 0xFFFF, 0x0201);
+        dev.inject_frame(&[1, 2, 3, 4]); // byte 1 flipped
+        spi_read(&mut dev, RX_STATUS_FIFO);
+        assert_eq!(spi_read(&mut dev, RX_DATA_FIFO), 0x0403_8201);
+        dev.inject_frame(&[9, 9, 9, 9]); // past the schedule: untouched
+        spi_read(&mut dev, RX_STATUS_FIFO);
+        assert_eq!(spi_read(&mut dev, RX_DATA_FIFO), 0x0909_0909);
+        assert_eq!(dev.faults_injected(), 3);
     }
 
     #[test]

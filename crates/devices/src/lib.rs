@@ -19,10 +19,15 @@
 //!   says are *ignored*, no matter how malicious);
 //! * [`bus`] — the [`Board`]: both peripherals behind one
 //!   [`riscv_spec::MmioHandler`], pluggable into every machine model in
-//!   the workspace.
+//!   the workspace;
+//! * [`faults`] — a seeded, deterministic [`FaultPlan`] of device
+//!   misbehaviour (delayed readiness, wire garbage, RX stalls, frame
+//!   drops/truncation/corruption), threaded through SPI, LAN9250 and
+//!   [`Board`] behind a zero-cost default.
 
 pub mod bus;
 pub mod ethernet;
+pub mod faults;
 pub mod gpio;
 pub mod lan9250;
 pub mod spi;
@@ -30,6 +35,7 @@ pub mod workload;
 
 pub use bus::{Board, GPIO_BASE, SPI_BASE};
 pub use ethernet::{build_udp_frame, parse_udp_frame, FrameSpec, ParseError, ParsedUdp};
+pub use faults::{FaultPlan, FrameFault};
 pub use gpio::Gpio;
 pub use lan9250::Lan9250;
 pub use spi::{Spi, SpiConfig, SpiSlave, SpiStats};

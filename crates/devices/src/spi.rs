@@ -16,6 +16,8 @@
 
 use std::collections::VecDeque;
 
+use crate::faults::{FaultPlan, WireFaults};
+
 /// Register offsets within the SPI controller's MMIO window.
 /// Serial clock divisor (accepted and ignored by the model).
 pub const SCKDIV: u32 = 0x00;
@@ -96,11 +98,20 @@ pub struct Spi<S> {
     cs_active: bool,
     sckdiv: u32,
     config: SpiConfig,
+    faults: WireFaults,
 }
 
 impl<S: SpiSlave> Spi<S> {
     /// Creates a controller over `slave`.
     pub fn new(slave: S, config: SpiConfig) -> Spi<S> {
+        Spi::with_faults(slave, config, &FaultPlan::none())
+    }
+
+    /// Creates a controller that injects the wire-level half of `plan`:
+    /// MISO garbage on scheduled exchanges and receive-queue stalls after
+    /// scheduled delivery counts. With [`FaultPlan::none`] this is exactly
+    /// [`Spi::new`].
+    pub fn with_faults(slave: S, config: SpiConfig, plan: &FaultPlan) -> Spi<S> {
         Spi {
             slave,
             stats: SpiStats::default(),
@@ -111,7 +122,13 @@ impl<S: SpiSlave> Spi<S> {
             cs_active: false,
             sckdiv: 0,
             config,
+            faults: plan.wire_faults(),
         }
+    }
+
+    /// Wire-level fault events injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.injected
     }
 
     /// MMIO register read.
@@ -120,13 +137,21 @@ impl<S: SpiSlave> Spi<S> {
             SCKDIV => self.sckdiv,
             CSMODE => self.cs_active as u32,
             TXDATA if self.tx.len() >= FIFO_DEPTH => FLAG,
-            RXDATA => match self.rx.pop_front() {
-                Some(b) => {
-                    self.stats.bytes_rx += 1;
-                    b as u32
+            RXDATA => {
+                if self.faults.is_active() && self.faults.stall_read() {
+                    return FLAG; // stalled: empty regardless of contents
                 }
-                None => FLAG,
-            },
+                match self.rx.pop_front() {
+                    Some(b) => {
+                        self.stats.bytes_rx += 1;
+                        if self.faults.is_active() {
+                            self.faults.on_delivered();
+                        }
+                        b as u32
+                    }
+                    None => FLAG,
+                }
+            }
             _ => 0,
         }
     }
@@ -169,11 +194,14 @@ impl<S: SpiSlave> Spi<S> {
             self.stats.busy_ticks += 1;
             self.busy -= 1;
             if self.busy == 0 {
-                let miso = if self.cs_active {
+                let mut miso = if self.cs_active {
                     self.slave.exchange(mosi)
                 } else {
                     0xFF // nothing selected: the bus floats high
                 };
+                if self.faults.is_active() {
+                    miso = self.faults.on_exchange(miso);
+                }
                 if self.rx.len() < FIFO_DEPTH {
                     self.rx.push_back(miso);
                 }
@@ -280,6 +308,45 @@ mod tests {
         ticked(&mut spi, 1);
         assert_eq!(spi.read(RXDATA), 0xFF);
         assert_eq!(spi.slave.last, 0, "slave never saw the byte");
+    }
+
+    #[test]
+    fn stall_forces_empty_reads_then_delivers() {
+        let plan = FaultPlan {
+            rx_stalls: vec![(1, 2)],
+            ..FaultPlan::default()
+        };
+        let mut spi = Spi::with_faults(Echo::default(), SpiConfig { cycles_per_byte: 1 }, &plan);
+        spi.write(CSMODE, 1);
+        spi.write(TXDATA, 0x11);
+        ticked(&mut spi, 1);
+        assert_eq!(spi.read(RXDATA) & 0xFF, 0x00, "first byte delivered");
+        // The stall armed after delivery #1: the next two reads are forced
+        // empty even though the echo of 0x11 is already queued.
+        spi.write(TXDATA, 0x22);
+        ticked(&mut spi, 1);
+        assert_eq!(spi.read(RXDATA), FLAG);
+        assert_eq!(spi.read(RXDATA), FLAG);
+        assert_eq!(spi.read(RXDATA), 0x11, "stall over, byte still there");
+        assert_eq!(spi.faults_injected(), 2);
+    }
+
+    #[test]
+    fn miso_garbage_flips_only_the_scheduled_exchange() {
+        let plan = FaultPlan {
+            wire_garbage: vec![(1, 0xFF)],
+            ..FaultPlan::default()
+        };
+        let mut spi = Spi::with_faults(Echo::default(), SpiConfig { cycles_per_byte: 1 }, &plan);
+        spi.write(CSMODE, 1);
+        for b in [0x10u8, 0x20, 0x30] {
+            spi.write(TXDATA, b as u32);
+            ticked(&mut spi, 1);
+        }
+        let got: Vec<u32> = (0..3).map(|_| spi.read(RXDATA)).collect();
+        // Echo would be [0x00, 0x10, 0x20]; exchange #1's MISO is xored.
+        assert_eq!(got, vec![0x00, 0x10 ^ 0xFF, 0x20]);
+        assert_eq!(spi.slave.last, 0x30, "MOSI side never corrupted");
     }
 
     #[test]

@@ -192,44 +192,118 @@ fn init_poll(reg: u16, done: impl Fn(Expr) -> Expr, timeouts: bool) -> Vec<Stmt>
     }
 }
 
-/// `lan_init() -> err`: the BootSeq incantations.
+/// `lan_init() -> err`: the BootSeq incantations. Phases short-circuit on
+/// failure — once a poll gives up there is no point hammering the rest of
+/// the bring-up sequence; `lan_init_retry` drains the wire and starts over
+/// instead. On the success path the trace is exactly the `BootSeq` shape.
+///
+/// The final phase is a link-integrity check: write a nonce to
+/// `MAC_CSR_DATA` and read it back. The polling phases cannot detect a
+/// receive queue that is desynchronized by exactly one register frame
+/// (every readword then returns the *previous* readword's value, and a
+/// poll simply takes one extra iteration), but no byte lag can echo the
+/// nonce back, so a desynchronized bring-up fails here and the retry path
+/// drains the wire before the next attempt.
 pub fn lan_init(timeouts: bool) -> Function {
-    let mut body = vec![set("err", lit(0))];
+    // 5. Link-integrity check: the nonce must read back exactly.
+    let phase5 = vec![
+        call(
+            &["e"],
+            "lan_writeword",
+            [lit(lan::MAC_CSR_DATA as u32), lit(layout::LINK_CHECK_NONCE)],
+        ),
+        set("err", or(var("err"), var("e"))),
+        when(
+            eq(var("err"), lit(0)),
+            block([
+                call(&["v", "e"], "lan_readword", [lit(lan::MAC_CSR_DATA as u32)]),
+                set(
+                    "err",
+                    or(
+                        var("err"),
+                        or(var("e"), ne(var("v"), lit(layout::LINK_CHECK_NONCE))),
+                    ),
+                ),
+            ]),
+        ),
+    ];
+    // 4. Wait for the CSR command to complete.
+    let mut phase4 = init_poll(lan::MAC_CSR_CMD, |v| eq(sru(v, lit(31)), lit(0)), timeouts);
+    phase4.push(when(eq(var("err"), lit(0)), block(phase5)));
+    // 3. Enable reception: MAC_CR.RXEN via the CSR indirection.
+    let mut phase3 = vec![
+        call(
+            &["e"],
+            "lan_writeword",
+            [lit(lan::MAC_CSR_DATA as u32), lit(layout::MAC_CR_RXEN)],
+        ),
+        set("err", or(var("err"), var("e"))),
+        call(
+            &["e"],
+            "lan_writeword",
+            [
+                lit(lan::MAC_CSR_CMD as u32),
+                lit(layout::MAC_CSR_BUSY | layout::MAC_CR),
+            ],
+        ),
+        set("err", or(var("err"), var("e"))),
+    ];
+    phase3.push(when(eq(var("err"), lit(0)), block(phase4)));
+    // 2. Wait for HW_CFG READY.
+    let mut phase2 = init_poll(
+        lan::HW_CFG,
+        |v| ne(and(v, lit(layout::HW_CFG_READY)), lit(0)),
+        timeouts,
+    );
+    phase2.push(when(eq(var("err"), lit(0)), block(phase3)));
     // 1. Wait for the chip to answer with the BYTE_TEST magic.
+    let mut body = vec![set("err", lit(0))];
     body.extend(init_poll(
         lan::BYTE_TEST,
         |v| eq(v, lit(layout::BYTE_TEST_MAGIC)),
         timeouts,
     ));
-    // 2. Wait for HW_CFG READY.
-    body.extend(init_poll(
-        lan::HW_CFG,
-        |v| ne(and(v, lit(layout::HW_CFG_READY)), lit(0)),
-        timeouts,
-    ));
-    // 3. Enable reception: MAC_CR.RXEN via the CSR indirection.
-    body.push(call(
-        &["e"],
-        "lan_writeword",
-        [lit(lan::MAC_CSR_DATA as u32), lit(layout::MAC_CR_RXEN)],
-    ));
-    body.push(set("err", or(var("err"), var("e"))));
-    body.push(call(
-        &["e"],
-        "lan_writeword",
-        [
-            lit(lan::MAC_CSR_CMD as u32),
-            lit(layout::MAC_CSR_BUSY | layout::MAC_CR),
-        ],
-    ));
-    body.push(set("err", or(var("err"), var("e"))));
-    // 4. Wait for the CSR command to complete.
-    body.extend(init_poll(
-        lan::MAC_CSR_CMD,
-        |v| eq(sru(v, lit(31)), lit(0)),
-        timeouts,
-    ));
+    body.push(when(eq(var("err"), lit(0)), block(phase2)));
     Function::new("lan_init", &[], &["err"], block(body))
+}
+
+/// `lan_init_retry() -> err`: bounded retry-with-backoff around
+/// `lan_init`. Each retry first drains stale SPI response bytes (a timed
+/// out exchange leaves its answer in the queue, desynchronizing every
+/// later exchange), then busy-waits — doubling the wait each attempt —
+/// before bringing the chip up again. The backoff is pure spinning, so
+/// retries are visible on the trace only as drain reads plus a fresh
+/// bring-up attempt.
+pub fn lan_init_retry() -> Function {
+    let body = block([
+        call(&["err"], "lan_init", []),
+        set("attempts", lit(layout::LAN_INIT_RETRIES)),
+        set("delay", lit(layout::INIT_BACKOFF_BASE)),
+        while_(
+            and(ne(var("err"), lit(0)), ltu(lit(0), var("attempts"))),
+            block([
+                set("attempts", sub(var("attempts"), lit(1))),
+                call(&["n"], "spi_drain", []),
+                set("j", var("delay")),
+                while_(ltu(lit(0), var("j")), set("j", sub(var("j"), lit(1)))),
+                set("delay", mul(var("delay"), lit(2))),
+                call(&["err"], "lan_init", []),
+            ]),
+        ),
+    ]);
+    Function::new("lan_init_retry", &[], &["err"], body)
+}
+
+/// `lan_recover() -> err`: the app loop's reaction to a persistent RX
+/// failure (`lan_tryrecv` code 3): drain the wire, then re-run the whole
+/// bounded bring-up. The lightbulb itself is untouched — it holds the last
+/// commanded state while the network heals.
+pub fn lan_recover() -> Function {
+    let body = block([
+        call(&["n"], "spi_drain", []),
+        call(&["err"], "lan_init_retry", []),
+    ]);
+    Function::new("lan_recover", &[], &["err"], body)
 }
 
 /// `lan_tryrecv(buf) -> (len, code)`.
@@ -314,7 +388,14 @@ pub fn functions(timeouts: bool, pipelined: bool) -> Vec<Function> {
     } else {
         (readword_interleaved(), writeword_interleaved())
     };
-    vec![rd, wr, lan_init(timeouts), lan_tryrecv()]
+    vec![
+        rd,
+        wr,
+        lan_init(timeouts),
+        lan_init_retry(),
+        lan_recover(),
+        lan_tryrecv(),
+    ]
 }
 
 #[cfg(test)]
@@ -343,10 +424,14 @@ mod tests {
         for pipelined in [false, true] {
             let p = program(true, pipelined);
             let mut i = fresh_interp(&p, pipelined);
-            let out = i.call("lan_init", &[]).unwrap();
+            let out = i
+                .call("lan_init", &[])
+                .expect("lan_init is UB-free on a healthy board");
             assert_eq!(out, vec![0], "init must succeed (pipelined={pipelined})");
             assert!(i.ext.dev.spi.slave.rx_enabled());
-            let out = i.call("lan_readword", &[lan::BYTE_TEST as u32]).unwrap();
+            let out = i
+                .call("lan_readword", &[lan::BYTE_TEST as u32])
+                .expect("lan_readword is UB-free after bring-up");
             assert_eq!(out, vec![layout::BYTE_TEST_MAGIC, 0]);
         }
     }
@@ -355,8 +440,11 @@ mod tests {
     fn tryrecv_reports_nothing_pending() {
         let p = program(true, false);
         let mut i = fresh_interp(&p, false);
-        i.call("lan_init", &[]).unwrap();
-        let out = i.call("lan_tryrecv", &[0x100]).unwrap();
+        i.call("lan_init", &[])
+            .expect("lan_init is UB-free on a healthy board");
+        let out = i
+            .call("lan_tryrecv", &[0x100])
+            .expect("lan_tryrecv is UB-free with an empty RX queue");
         assert_eq!(out, vec![0, 1], "(len, code=1 nothing)");
     }
 
@@ -364,34 +452,51 @@ mod tests {
     fn tryrecv_copies_a_frame_into_the_buffer() {
         let p = program(true, false);
         let mut i = fresh_interp(&p, false);
-        i.call("lan_init", &[]).unwrap();
+        i.call("lan_init", &[])
+            .expect("lan_init is UB-free on a healthy board");
         let frame: Vec<u8> = (0..50u8).collect();
         i.ext.dev.inject_frame(&frame);
-        let out = i.call("lan_tryrecv", &[0x100]).unwrap();
+        let out = i
+            .call("lan_tryrecv", &[0x100])
+            .expect("lan_tryrecv is UB-free with a well-formed frame pending");
         assert_eq!(out, vec![50, 0]);
-        assert_eq!(i.mem.load_bytes(0x100, 50).unwrap(), &frame[..]);
+        let copied = i
+            .mem
+            .load_bytes(0x100, 50)
+            .expect("the 50-byte copy target lies inside test memory");
+        assert_eq!(copied, &frame[..]);
     }
 
     #[test]
     fn tryrecv_rejects_giant_frames_without_copying() {
         let p = program(true, false);
         let mut i = fresh_interp(&p, false);
-        i.call("lan_init", &[]).unwrap();
+        i.call("lan_init", &[])
+            .expect("lan_init is UB-free on a healthy board");
         i.ext.dev.inject_frame(&vec![0xAA; 1600]);
-        let out = i.call("lan_tryrecv", &[0x100]).unwrap();
+        let out = i
+            .call("lan_tryrecv", &[0x100])
+            .expect("lan_tryrecv is UB-free even on an oversized frame");
         assert_eq!(out[1], 2, "code=2 rejected");
         assert_eq!(i.ext.dev.spi.slave.frames_discarded, 1);
         // Nothing was copied: the buffer area is untouched.
-        assert!(i.mem.load_bytes(0x100, 16).unwrap().iter().all(|b| *b == 0));
+        let untouched = i
+            .mem
+            .load_bytes(0x100, 16)
+            .expect("the probe window lies inside test memory");
+        assert!(untouched.iter().all(|b| *b == 0));
     }
 
     #[test]
     fn tryrecv_rejects_too_short_frames() {
         let p = program(true, false);
         let mut i = fresh_interp(&p, false);
-        i.call("lan_init", &[]).unwrap();
+        i.call("lan_init", &[])
+            .expect("lan_init is UB-free on a healthy board");
         i.ext.dev.inject_frame(&[1, 2, 3]);
-        let out = i.call("lan_tryrecv", &[0x100]).unwrap();
+        let out = i
+            .call("lan_tryrecv", &[0x100])
+            .expect("lan_tryrecv is UB-free on a runt frame");
         assert_eq!(out[1], 2);
     }
 
@@ -420,7 +525,9 @@ mod tests {
         }
         let p = program(true, false);
         let mut i = Interp::new(&p, Memory::with_size(0x1000), MmioBridge::new(DeadSpi));
-        let out = i.call("lan_init", &[]).unwrap();
+        let out = i
+            .call("lan_init", &[])
+            .expect("timeouts turn a dead chip into an error code, not UB");
         assert_eq!(out, vec![1], "err must be reported, not a hang");
     }
 }

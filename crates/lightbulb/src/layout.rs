@@ -77,6 +77,32 @@ pub const CMD_BYTE_OFFSET: u32 = devices::ethernet::HEADERS_LEN as u32;
 pub const SPI_TIMEOUT: u32 = 64;
 /// Polling budget for device bring-up loops.
 pub const INIT_TIMEOUT: u32 = 64;
+/// How many times `lan_init_retry` re-attempts a failed bring-up. With the
+/// fault layer capping register misbehaviour at two poll budgets, three
+/// retries always suffice (see `devices::faults`).
+pub const LAN_INIT_RETRIES: u32 = 3;
+/// Initial busy-wait between retry attempts; doubles on every retry. The
+/// wait is pure spinning (no MMIO), so it is invisible on the trace.
+pub const INIT_BACKOFF_BASE: u32 = 32;
+/// Total RXDATA reads `spi_drain` may issue. Sized for the worst case:
+/// popping a full 8-deep receive queue, waiting out one in-flight byte,
+/// popping it, and then observing [`DRAIN_QUIET_READS`] empties.
+pub const SPI_DRAIN_BUDGET: u32 = 40;
+/// Consecutive empty RXDATA reads `spi_drain` needs before it may conclude
+/// the wire is quiet. Must exceed the SPI transfer time in device ticks
+/// (`SpiConfig::cycles_per_byte`, 8 by default): a byte whose exchange
+/// already happened but whose response has not yet landed in the receive
+/// queue reads as a run of at most `cycles_per_byte` empties — giving up
+/// sooner would let that straggler desynchronize every later exchange.
+pub const DRAIN_QUIET_READS: u32 = 12;
+/// Link-integrity nonce: written to `MAC_CSR_DATA` at the end of bring-up
+/// and read back. A desynchronized SPI link (stale response bytes shifting
+/// every readback) cannot echo it: the bytes are distinct and never 0xFF,
+/// so any byte lag returns a different word. In particular a lag of one
+/// whole register frame makes every readword return the *previous*
+/// readword's value — which fools every polling loop (they just take one
+/// extra iteration) but not this write-then-read-back check.
+pub const LINK_CHECK_NONCE: u32 = 0x6996_C35A;
 
 /// The MMIO ranges software may touch — the `isMMIOAddr` of §6.2, used by
 /// both the external-call specification and the runtime bridge.

@@ -12,7 +12,10 @@
 //!   external-call specification, bridging the Bedrock2 interpreter to the
 //!   same device models the hardware simulations use;
 //! * [`spec`] — `BootSeq`, `Recv b`, `LightbulbCmd b`, `RecvInvalid`,
-//!   `PollNone`, and [`spec::good_hl_trace`] (§3.1).
+//!   `PollNone`, and [`spec::good_hl_trace`] (§3.1), extended with the
+//!   classified recoverable-failure shapes of the hardened drivers;
+//! * [`probe`] — reconstructs driver recovery activity (retries,
+//!   re-inits) from an MMIO trace, for observability counters.
 //!
 //! The `integration` crate compiles [`app::lightbulb_program`] and runs it
 //! on the processor models; here the same program runs on the Bedrock2
@@ -23,6 +26,7 @@ pub mod app;
 pub mod ext;
 pub mod lan9250_driver;
 pub mod layout;
+pub mod probe;
 pub mod spec;
 pub mod spi_driver;
 

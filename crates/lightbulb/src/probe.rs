@@ -1,0 +1,199 @@
+//! Driver-activity probe: derives observability counters from an MMIO
+//! trace instead of instrumenting the drivers.
+//!
+//! The Bedrock2 drivers deliberately carry no instrumentation — they are
+//! the verified artifact, and a counter increment would be a trace event
+//! the specification would have to account for. But fault-sweep reports
+//! want to know *how often* recovery machinery actually ran. This module
+//! reconstructs that from the wire protocol itself, the same
+//! `("ld"/"st", addr, value)` triples every machine model records, so the
+//! numbers are identical whether the trace came from the Bedrock2
+//! interpreter, the spec-level RISC-V machine, or the pipelined processor.
+//!
+//! Recognized shapes:
+//!
+//! * a **command frame** — the events between a chip-select assert and
+//!   deassert; its target register is read out of the three command bytes
+//!   written to `SPI_TXDATA`;
+//! * a **drain burst** — a maximal run of `SPI_RXDATA` loads *outside*
+//!   any command frame. Only `spi_drain` reads the receive queue with the
+//!   chip deselected, so every such run is one drain invocation;
+//! * a **bring-up attempt** — a maximal run of consecutive `BYTE_TEST`
+//!   read frames (the poll that starts every `lan_init`), with drain
+//!   bursts breaking runs.
+//!
+//! A drain burst is classified by the last command frame before it: after
+//! an RX-path frame it can only be `lan_recover` reacting to a receive
+//! failure (a re-init), after a bring-up frame it is a retry inside
+//! `lan_init_retry`.
+
+use crate::layout::{self, lan};
+use riscv_spec::{MmioEvent, MmioEventKind};
+
+/// Counters reconstructed from a trace by [`scan`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DriverActivity {
+    /// Bring-up attempts: maximal runs of consecutive `BYTE_TEST` read
+    /// frames. A clean boot has exactly one.
+    pub init_attempts: u64,
+    /// Drain bursts following a failed bring-up attempt (`lan_init_retry`
+    /// looping).
+    pub retries: u64,
+    /// Drain bursts following an RX-path frame (`lan_recover` after a
+    /// `lan_tryrecv` SPI failure).
+    pub reinits: u64,
+    /// All drain bursts (`retries + reinits`).
+    pub drains: u64,
+}
+
+/// Which driver path a command frame's target register belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Path {
+    Init,
+    Rx,
+    Other,
+}
+
+fn classify(addr: u16) -> Path {
+    match addr {
+        a if a == lan::BYTE_TEST
+            || a == lan::HW_CFG
+            || a == lan::MAC_CSR_CMD
+            || a == lan::MAC_CSR_DATA =>
+        {
+            Path::Init
+        }
+        a if a == lan::RX_FIFO_INF
+            || a == lan::RX_STATUS_FIFO
+            || a == lan::RX_DATA_FIFO
+            || a == lan::RX_DP_CTRL =>
+        {
+            Path::Rx
+        }
+        _ => Path::Other,
+    }
+}
+
+/// Scans a trace for driver recovery activity.
+pub fn scan(events: &[MmioEvent]) -> DriverActivity {
+    let mut out = DriverActivity::default();
+    let mut in_frame = false;
+    // Command bytes written so far in the current frame.
+    let mut tx: Vec<u8> = Vec::with_capacity(8);
+    // Path of the last completed frame with a decodable target.
+    let mut last_path = Path::Other;
+    // Whether the previous completed item was a BYTE_TEST read frame.
+    let mut in_bt_run = false;
+    // Whether we are inside a run of deselected RXDATA reads.
+    let mut in_drain = false;
+
+    for e in events {
+        match (e.kind, e.addr) {
+            (MmioEventKind::Store, layout::SPI_CSMODE) => {
+                let assert = e.value & 1 == 1;
+                if assert {
+                    in_frame = true;
+                    in_drain = false;
+                    tx.clear();
+                } else if in_frame {
+                    in_frame = false;
+                    // Need the command byte and both address bytes.
+                    if tx.len() >= 3 {
+                        let addr = (tx[1] as u16) << 8 | tx[2] as u16;
+                        let is_read = tx[0] == layout::CMD_READ as u8;
+                        let bt_read = is_read && addr == lan::BYTE_TEST;
+                        if bt_read && !in_bt_run {
+                            out.init_attempts += 1;
+                        }
+                        in_bt_run = bt_read;
+                        last_path = classify(addr);
+                    } else {
+                        in_bt_run = false;
+                    }
+                }
+            }
+            (MmioEventKind::Store, layout::SPI_TXDATA) if in_frame => {
+                tx.push(e.value as u8);
+            }
+            (MmioEventKind::Load, layout::SPI_RXDATA) if !in_frame && !in_drain => {
+                in_drain = true;
+                in_bt_run = false;
+                out.drains += 1;
+                match last_path {
+                    Path::Rx => out.reinits += 1,
+                    _ => out.retries += 1,
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{lightbulb_program, DriverOptions};
+    use crate::ext::MmioBridge;
+    use bedrock2::semantics::Interp;
+    use devices::workload::TrafficGen;
+    use devices::{Board, FaultPlan};
+    use riscv_spec::Memory;
+
+    fn run(plan: &FaultPlan, loops: usize) -> (Vec<MmioEvent>, DriverActivity) {
+        let p = lightbulb_program(DriverOptions::default());
+        let mut i = Interp::new(
+            &p,
+            Memory::with_size(0x1_0000),
+            MmioBridge::new(Board::with_faults(devices::SpiConfig::default(), plan)),
+        );
+        i.call("lightbulb_init", &[])
+            .expect("init must run UB-free");
+        let mut gen = TrafficGen::new(97);
+        i.ext.dev.inject_frame(&gen.command(true));
+        for _ in 0..loops {
+            i.call("lightbulb_loop", &[])
+                .expect("loop must run UB-free");
+        }
+        let activity = scan(&i.ext.events);
+        (i.ext.events.clone(), activity)
+    }
+
+    #[test]
+    fn clean_run_shows_one_attempt_and_no_recovery() {
+        let (_, a) = run(&FaultPlan::none(), 3);
+        assert_eq!(
+            a,
+            DriverActivity {
+                init_attempts: 1,
+                ..DriverActivity::default()
+            }
+        );
+    }
+
+    #[test]
+    fn hard_register_fault_shows_retries() {
+        // More junk reads than one poll budget: at least one failed
+        // attempt, hence at least one drain classified as a retry.
+        let plan = FaultPlan {
+            byte_test_junk_reads: 80,
+            ..FaultPlan::default()
+        };
+        let (_, a) = run(&plan, 1);
+        assert!(a.init_attempts >= 2, "{a:?}");
+        assert!(a.retries >= 1, "{a:?}");
+        assert_eq!(a.reinits, 0, "{a:?}");
+        assert_eq!(a.drains, a.retries + a.reinits);
+    }
+
+    #[test]
+    fn rx_stall_shows_a_reinit() {
+        let plan = FaultPlan {
+            rx_stalls: vec![(400, 300)],
+            ..FaultPlan::default()
+        };
+        let (_, a) = run(&plan, 60);
+        assert!(a.reinits >= 1, "{a:?}");
+        assert_eq!(a.drains, a.retries + a.reinits);
+    }
+}

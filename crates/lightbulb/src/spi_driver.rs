@@ -18,7 +18,7 @@
 //! logic the paper added "when setting up to prove total correctness for
 //! each iteration of the top-level event loop" (1.2× of §7.2.1).
 
-use crate::layout::{SPI_RXDATA, SPI_TIMEOUT, SPI_TXDATA};
+use crate::layout::{DRAIN_QUIET_READS, SPI_DRAIN_BUDGET, SPI_RXDATA, SPI_TIMEOUT, SPI_TXDATA};
 use bedrock2::ast::{Expr, Function, Stmt};
 use bedrock2::dsl::*;
 
@@ -69,6 +69,36 @@ pub fn spi_get(timeouts: bool) -> Function {
     Function::new("spi_get", &[], &["r", "err"], block(body))
 }
 
+/// `spi_drain() -> n`: pop stale response bytes out of the RX queue until
+/// the wire is quiet, bounded by [`SPI_DRAIN_BUDGET`] reads in total.
+/// After an exchange times out, its response byte can arrive late and
+/// desynchronize every subsequent exchange by one byte — and it may still
+/// be *in flight* when the drain starts, so a single empty read is not
+/// proof the queue will stay empty. The loop therefore only concludes
+/// after [`DRAIN_QUIET_READS`] consecutive empties (longer than one byte
+/// transfer); any popped byte resets the quiet run. Recovery paths call
+/// this before re-running the bring-up sequence.
+pub fn spi_drain() -> Function {
+    let body = block([
+        set("n", lit(0)),
+        set("q", lit(0)),
+        set("i", lit(SPI_DRAIN_BUDGET)),
+        while_(
+            and(ltu(var("q"), lit(DRAIN_QUIET_READS)), ltu(lit(0), var("i"))),
+            block([
+                set("i", sub(var("i"), lit(1))),
+                interact(&["v"], "MMIOREAD", [lit(SPI_RXDATA)]),
+                if_(
+                    flag(var("v")),
+                    set("q", add(var("q"), lit(1))),
+                    block([set("q", lit(0)), set("n", add(var("n"), lit(1)))]),
+                ),
+            ]),
+        ),
+    ]);
+    Function::new("spi_drain", &[], &["n"], body)
+}
+
 /// `spi_xchg(b) -> (r, err)`: one full-duplex byte exchange.
 pub fn spi_xchg(_timeouts: bool) -> Function {
     let body = block([
@@ -84,7 +114,12 @@ pub fn spi_xchg(_timeouts: bool) -> Function {
 
 /// All SPI driver functions for the given configuration.
 pub fn functions(timeouts: bool) -> Vec<Function> {
-    vec![spi_put(timeouts), spi_get(timeouts), spi_xchg(timeouts)]
+    vec![
+        spi_put(timeouts),
+        spi_get(timeouts),
+        spi_xchg(timeouts),
+        spi_drain(),
+    ]
 }
 
 #[cfg(test)]

@@ -240,17 +240,27 @@ impl TracePred {
                 }
             }
             Node::Concat(a, b) => {
-                let mut out = std::collections::BTreeSet::new();
+                // End sets are tiny in practice (specs are nearly
+                // deterministic per event): a sort-dedup'd Vec beats a
+                // tree set on the matching hot path.
+                let mut out = Vec::new();
                 for m in a.ends(t, lo, memo).iter() {
                     out.extend(b.ends(t, *m, memo).iter().copied());
                 }
-                out.into_iter().collect()
+                if out.len() > 1 {
+                    out.sort_unstable();
+                    out.dedup();
+                }
+                out
             }
             Node::Union(a, b) => {
-                let mut out: std::collections::BTreeSet<usize> =
-                    a.ends(t, lo, memo).iter().copied().collect();
+                let mut out: Vec<usize> = a.ends(t, lo, memo).iter().copied().collect();
                 out.extend(b.ends(t, lo, memo).iter().copied());
-                out.into_iter().collect()
+                if out.len() > 1 {
+                    out.sort_unstable();
+                    out.dedup();
+                }
+                out
             }
             Node::Star(a) => {
                 // Reachability closure over iteration boundaries.
@@ -320,10 +330,32 @@ impl TracePred {
     }
 }
 
+/// A fast, deterministic hasher for memo keys ((node pointer, position)
+/// pairs). The default SipHash dominates matching time on long traces;
+/// this FxHash-style multiply-mix is plenty for already-random pointers.
+#[derive(Default)]
+struct MemoHasher(u64);
+
+impl std::hash::Hasher for MemoHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    fn write_usize(&mut self, i: usize) {
+        self.0 = (self.0.rotate_left(23) ^ i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type MemoMap<V> = HashMap<(usize, usize), V, std::hash::BuildHasherDefault<MemoHasher>>;
+
 #[derive(Default)]
 struct Memo {
-    ends: HashMap<(usize, usize), Rc<Vec<usize>>>,
-    prefix: HashMap<(usize, usize), bool>,
+    ends: MemoMap<Rc<Vec<usize>>>,
+    prefix: MemoMap<bool>,
 }
 
 /// Atom: an MMIO load at `addr` with any value.

@@ -32,6 +32,15 @@ for b in fig_perf verif_perf spec_throughput; do
   echo "-- $b: $(echo "$end $start" | awk '{printf "%.2f", $1 - $2}') s"
 done
 
+echo "== fault-sweep smoke (wall clock) =="
+# Bounded version of the full 1000-seed sweep (BENCH_fault_sweep.json):
+# every seeded fault plan must stay recoverable on both machine models,
+# and the report must be shard-count invariant (the binary self-checks).
+start=$(date +%s.%N)
+cargo run --release -p bench --bin fault_sweep -- --seeds 96
+end=$(date +%s.%N)
+echo "-- fault_sweep --seeds 96: $(echo "$end $start" | awk '{printf "%.2f", $1 - $2}') s"
+
 echo "== bench --json =="
 # emit_json re-parses its own output before printing, so a successful run
 # already proves the document is valid; the python pass is an independent
