@@ -1,0 +1,145 @@
+//! Property tests for the fault-plan minimizer: on randomized plans and
+//! randomized (synthetic, instant) failure predicates, `shrink_plan` must
+//! keep the invariants the triage workflow rests on — the minimized plan
+//! still fails, is a sub-plan of the original, and comes out identical on
+//! every run. The real-stack triage path (slow, one plan) is covered in
+//! `tests/fault_injection.rs`; these properties get the combinatorial
+//! coverage.
+
+use devices::{FaultAtom, FaultPlan};
+use integration::differential::DiffError;
+use integration::triage::shrink_plan;
+use proptest::prelude::*;
+
+/// Decodes a generated `(kind, at, value)` triple into a fault atom.
+/// Register-poll atoms are excluded: [`FaultPlan::from_atoms`] merges
+/// duplicates of those by `max`, which is correct plan semantics but
+/// would make "the culprit survives verbatim" harder to state.
+fn decode(kind: u8, at: u64, value: u8) -> FaultAtom {
+    match kind % 3 {
+        0 => FaultAtom::SpuriousRx(at),
+        1 => FaultAtom::WireGarbage(at, value),
+        _ => FaultAtom::RxStall(at, u32::from(value) + 1),
+    }
+}
+
+/// Builds a plan from generated triples, keeping one atom per trigger
+/// index so normalization (sort + dedup by trigger) cannot merge atoms
+/// and subset claims stay exact.
+fn plan_from(triples: &[(u8, u64, u8)]) -> FaultPlan {
+    let mut seen = std::collections::BTreeSet::new();
+    let atoms: Vec<FaultAtom> = triples
+        .iter()
+        .filter(|(_, at, _)| seen.insert(*at))
+        .map(|&(kind, at, value)| decode(kind, at, value))
+        .collect();
+    FaultPlan::from_atoms(42, &atoms)
+}
+
+fn is_subset(smaller: &[FaultAtom], larger: &[FaultAtom]) -> bool {
+    smaller.iter().all(|a| larger.contains(a))
+}
+
+proptest! {
+    /// With a monotone predicate ("fails iff every culprit atom is still
+    /// scheduled"), the minimizer must return exactly the culprit set:
+    /// still failing, a subset of the original, 1-minimal, and identical
+    /// across runs.
+    #[test]
+    fn shrink_finds_exactly_the_culprit_set(
+        triples in proptest::collection::vec((any::<u8>(), 0u64..5000, any::<u8>()), 1..14),
+        mask in any::<u16>(),
+    ) {
+        let original = plan_from(&triples);
+        let atoms = original.atoms();
+        let mut culprits: Vec<FaultAtom> = atoms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << (i % 16)) != 0)
+            .map(|(_, a)| *a)
+            .collect();
+        if culprits.is_empty() {
+            // The vendored proptest has no `prop_assume`; conscript the
+            // first atom so the predicate is never vacuous.
+            culprits.push(atoms[0]);
+        }
+
+        let fails = |p: &FaultPlan| {
+            is_subset(&culprits, &p.atoms()).then_some(DiffError::MachineTimeout)
+        };
+        let (minimal, error, probes) =
+            shrink_plan(&original, fails).expect("original contains every culprit");
+
+        // Still failing, and a genuine sub-plan.
+        prop_assert!(fails(&minimal).is_some(), "minimized plan no longer fails");
+        prop_assert_eq!(&error, &DiffError::MachineTimeout);
+        prop_assert!(
+            is_subset(&minimal.atoms(), &atoms),
+            "minimized plan {:?} is not a sub-plan of {:?}", minimal.atoms(), atoms
+        );
+        prop_assert!(probes >= 1);
+
+        // For a monotone predicate, 1-minimality pins the answer down to
+        // the culprit set itself (in canonical plan order).
+        let expected = FaultPlan::from_atoms(original.seed, &culprits);
+        prop_assert_eq!(&minimal, &expected);
+
+        // Determinism: a second run takes the identical path.
+        let again = shrink_plan(&original, fails).expect("still fails");
+        prop_assert_eq!(&again.0, &minimal);
+        prop_assert_eq!(again.2, probes);
+    }
+
+    /// A non-monotone predicate (fails on an exact atom-count parity) must
+    /// still shrink to a plan that fails and is a sub-plan — the minimizer
+    /// promises local minimality, never global.
+    #[test]
+    fn shrink_is_sound_under_non_monotone_predicates(
+        triples in proptest::collection::vec((any::<u8>(), 0u64..5000, any::<u8>()), 1..14),
+    ) {
+        let original = plan_from(&triples);
+        let parity = original.atoms().len() % 2;
+        let fails = |p: &FaultPlan| {
+            (p.atoms().len() % 2 == parity && !p.atoms().is_empty())
+                .then_some(DiffError::MachineTimeout)
+        };
+        let (minimal, _, _) = shrink_plan(&original, fails).expect("original fails by parity");
+        prop_assert!(fails(&minimal).is_some(), "minimized plan no longer fails");
+        prop_assert!(is_subset(&minimal.atoms(), &original.atoms()));
+        // 1-minimality, checked directly against the predicate.
+        let atoms = minimal.atoms();
+        for i in 0..atoms.len() {
+            let mut fewer = atoms.clone();
+            fewer.remove(i);
+            let sub = FaultPlan::from_atoms(minimal.seed, &fewer);
+            prop_assert!(
+                fails(&sub).is_none(),
+                "dropping atom {} still fails: not 1-minimal", i
+            );
+        }
+    }
+
+    /// Plans that never fail never shrink: `shrink_plan` must not
+    /// fabricate a counterexample out of a passing plan.
+    #[test]
+    fn shrink_refuses_passing_plans(
+        triples in proptest::collection::vec((any::<u8>(), 0u64..5000, any::<u8>()), 0..14),
+    ) {
+        let original = plan_from(&triples);
+        prop_assert!(shrink_plan(&original, |_| None).is_none());
+    }
+
+    /// The seeded-plan decomposition round-trips through atoms and JSON:
+    /// triage artifacts must reproduce the exact plan they describe.
+    #[test]
+    fn plans_round_trip_through_atoms_and_json(seed in any::<u64>()) {
+        let plan = FaultPlan::from_seed(seed);
+        let rebuilt = FaultPlan::from_atoms(plan.seed, &plan.atoms());
+        prop_assert_eq!(&rebuilt, &plan);
+        let parsed = FaultPlan::from_json(
+            &obs::json::parse(&plan.to_json().render()).expect("valid JSON"),
+        )
+        .expect("plan parses back");
+        prop_assert_eq!(&parsed, &plan);
+    }
+}

@@ -23,6 +23,7 @@
 //!   single `bool` test on the device hot paths, so the fault layer cannot
 //!   regress the throughput numbers in `BENCH_spec_throughput.json`.
 
+use obs::json::Value;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -178,6 +179,210 @@ impl FaultPlan {
         plan
     }
 
+    /// Decomposes the plan into its independent triggers, in a canonical
+    /// order (register faults first, then each scheduled list in field
+    /// order). Every atom can be removed without disturbing the others —
+    /// triggers are keyed on interaction counts the *drivers* produce, not
+    /// on one another — which is what makes delta-debugging over sub-plans
+    /// sound: `from_atoms` of any subset is a well-formed plan whose
+    /// remaining triggers fire exactly as they did in the original.
+    pub fn atoms(&self) -> Vec<FaultAtom> {
+        let mut out = Vec::new();
+        if self.byte_test_junk_reads != 0 {
+            out.push(FaultAtom::ByteTestJunk(self.byte_test_junk_reads));
+        }
+        if self.hw_cfg_notready_reads != 0 {
+            out.push(FaultAtom::HwCfgNotReady(self.hw_cfg_notready_reads));
+        }
+        if self.mac_busy_reads != 0 {
+            out.push(FaultAtom::MacBusy(self.mac_busy_reads));
+        }
+        out.extend(
+            self.spurious_rx_reads
+                .iter()
+                .map(|&i| FaultAtom::SpuriousRx(i)),
+        );
+        out.extend(
+            self.wire_garbage
+                .iter()
+                .map(|&(i, x)| FaultAtom::WireGarbage(i, x)),
+        );
+        out.extend(
+            self.rx_stalls
+                .iter()
+                .map(|&(i, n)| FaultAtom::RxStall(i, n)),
+        );
+        out.extend(
+            self.frame_faults
+                .iter()
+                .map(|&(i, f)| FaultAtom::Frame(i, f)),
+        );
+        out
+    }
+
+    /// Recomposes a plan from a subset of another plan's [`FaultPlan::atoms`]
+    /// (delta debugging's "apply this candidate"). Schedules are re-sorted
+    /// into the field invariants (ascending trigger indices); duplicate
+    /// register atoms keep the largest magnitude, and duplicate scheduled
+    /// indices are dropped where the originating field dedups them.
+    /// `from_atoms(p.seed, &p.atoms()) == p` holds for every seeded plan.
+    pub fn from_atoms(seed: u64, atoms: &[FaultAtom]) -> FaultPlan {
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        };
+        for atom in atoms {
+            match *atom {
+                FaultAtom::ByteTestJunk(n) => {
+                    plan.byte_test_junk_reads = plan.byte_test_junk_reads.max(n)
+                }
+                FaultAtom::HwCfgNotReady(n) => {
+                    plan.hw_cfg_notready_reads = plan.hw_cfg_notready_reads.max(n)
+                }
+                FaultAtom::MacBusy(n) => plan.mac_busy_reads = plan.mac_busy_reads.max(n),
+                FaultAtom::SpuriousRx(i) => plan.spurious_rx_reads.push(i),
+                FaultAtom::WireGarbage(i, x) => plan.wire_garbage.push((i, x)),
+                FaultAtom::RxStall(i, n) => plan.rx_stalls.push((i, n)),
+                FaultAtom::Frame(i, f) => plan.frame_faults.push((i, f)),
+            }
+        }
+        plan.spurious_rx_reads.sort_unstable();
+        plan.spurious_rx_reads.dedup();
+        plan.wire_garbage.sort_unstable();
+        plan.rx_stalls.sort_unstable();
+        plan.rx_stalls.dedup_by_key(|(i, _)| *i);
+        plan.frame_faults.sort_by_key(|(i, _)| *i);
+        plan
+    }
+
+    /// Serializes the plan as a dependency-free JSON object (the format
+    /// triage artifacts and `fault_sweep --replay-plan` exchange).
+    pub fn to_json(&self) -> Value {
+        let pair = |a: u64, b: u64| Value::Arr(vec![Value::UInt(a), Value::UInt(b)]);
+        let frame = |(at, fault): &(u64, FrameFault)| {
+            let obj = Value::obj().field("at", Value::UInt(*at));
+            match fault {
+                FrameFault::Drop => obj.field("kind", Value::Str("drop".into())),
+                FrameFault::Truncate(n) => obj
+                    .field("kind", Value::Str("truncate".into()))
+                    .field("len", Value::UInt(*n as u64)),
+                FrameFault::Corrupt { offset, xor } => obj
+                    .field("kind", Value::Str("corrupt".into()))
+                    .field("offset", Value::UInt(*offset as u64))
+                    .field("xor", Value::UInt(*xor as u64)),
+            }
+        };
+        Value::obj()
+            .field("seed", Value::UInt(self.seed))
+            .field(
+                "byte_test_junk_reads",
+                Value::UInt(self.byte_test_junk_reads as u64),
+            )
+            .field(
+                "hw_cfg_notready_reads",
+                Value::UInt(self.hw_cfg_notready_reads as u64),
+            )
+            .field("mac_busy_reads", Value::UInt(self.mac_busy_reads as u64))
+            .field(
+                "spurious_rx_reads",
+                Value::Arr(
+                    self.spurious_rx_reads
+                        .iter()
+                        .map(|&i| Value::UInt(i))
+                        .collect(),
+                ),
+            )
+            .field(
+                "wire_garbage",
+                Value::Arr(
+                    self.wire_garbage
+                        .iter()
+                        .map(|&(i, x)| pair(i, x as u64))
+                        .collect(),
+                ),
+            )
+            .field(
+                "rx_stalls",
+                Value::Arr(
+                    self.rx_stalls
+                        .iter()
+                        .map(|&(i, n)| pair(i, n as u64))
+                        .collect(),
+                ),
+            )
+            .field(
+                "frame_faults",
+                Value::Arr(self.frame_faults.iter().map(frame).collect()),
+            )
+    }
+
+    /// Parses a plan back from [`FaultPlan::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the malformed field.
+    pub fn from_json(v: &Value) -> Result<FaultPlan, String> {
+        fn uint(v: &Value, field: &str) -> Result<u64, String> {
+            match v.get(field) {
+                Some(&Value::UInt(n)) => Ok(n),
+                other => Err(format!(
+                    "fault plan field {field}: expected uint, got {other:?}"
+                )),
+            }
+        }
+        fn uint_of(v: &Value, what: &str) -> Result<u64, String> {
+            match v {
+                Value::UInt(n) => Ok(*n),
+                other => Err(format!("{what}: expected uint, got {other:?}")),
+            }
+        }
+        fn arr<'a>(v: &'a Value, field: &str) -> Result<&'a [Value], String> {
+            v.get(field)
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("fault plan field {field}: expected array"))
+        }
+        fn pairs(v: &Value, field: &str) -> Result<Vec<(u64, u64)>, String> {
+            arr(v, field)?
+                .iter()
+                .map(|p| match p.as_arr() {
+                    Some([a, b]) => Ok((uint_of(a, field)?, uint_of(b, field)?)),
+                    _ => Err(format!("fault plan field {field}: expected [uint, uint]")),
+                })
+                .collect()
+        }
+        let mut plan = FaultPlan {
+            seed: uint(v, "seed")?,
+            byte_test_junk_reads: uint(v, "byte_test_junk_reads")? as u32,
+            hw_cfg_notready_reads: uint(v, "hw_cfg_notready_reads")? as u32,
+            mac_busy_reads: uint(v, "mac_busy_reads")? as u32,
+            ..FaultPlan::default()
+        };
+        for i in arr(v, "spurious_rx_reads")? {
+            plan.spurious_rx_reads
+                .push(uint_of(i, "spurious_rx_reads")?);
+        }
+        for (i, x) in pairs(v, "wire_garbage")? {
+            plan.wire_garbage.push((i, x as u8));
+        }
+        for (i, n) in pairs(v, "rx_stalls")? {
+            plan.rx_stalls.push((i, n as u32));
+        }
+        for f in arr(v, "frame_faults")? {
+            let at = uint(f, "at")?;
+            let fault = match f.get("kind").and_then(Value::as_str) {
+                Some("drop") => FrameFault::Drop,
+                Some("truncate") => FrameFault::Truncate(uint(f, "len")? as usize),
+                Some("corrupt") => FrameFault::Corrupt {
+                    offset: uint(f, "offset")? as usize,
+                    xor: uint(f, "xor")? as u8,
+                },
+                other => return Err(format!("frame fault kind: {other:?}")),
+            };
+            plan.frame_faults.push((at, fault));
+        }
+        Ok(plan)
+    }
+
     /// The wire-level half of the plan, for the SPI controller.
     pub(crate) fn wire_faults(&self) -> WireFaults {
         WireFaults {
@@ -217,6 +422,28 @@ impl FaultPlan {
             injected: 0,
         }
     }
+}
+
+/// One independently removable trigger of a [`FaultPlan`] — the unit the
+/// triage minimizer subsets over ([`FaultPlan::atoms`] /
+/// [`FaultPlan::from_atoms`]). A register fault is one atom carrying its
+/// whole magnitude; scheduled lists contribute one atom per entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAtom {
+    /// `BYTE_TEST` answers junk for this many reads.
+    ByteTestJunk(u32),
+    /// `HW_CFG` reports not-ready for this many reads.
+    HwCfgNotReady(u32),
+    /// `MAC_CSR_CMD` reports busy for this many reads.
+    MacBusy(u32),
+    /// A phantom RX-pending flag at this `RX_FIFO_INF` read index.
+    SpuriousRx(u64),
+    /// `(exchange index, xor)` MISO corruption.
+    WireGarbage(u64, u8),
+    /// `(delivered-byte index, forced-empty reads)` RX stall.
+    RxStall(u64, u32),
+    /// `(injection index, fault)` frame-level fault.
+    Frame(u64, FrameFault),
 }
 
 /// Runtime state for the wire-level faults, owned by [`crate::Spi`].
@@ -445,6 +672,62 @@ mod tests {
         assert!(w.stall_read());
         assert!(!w.stall_read());
         assert_eq!(w.injected, 3);
+    }
+
+    #[test]
+    fn atoms_round_trip_for_seeded_plans() {
+        for seed in 0..512u64 {
+            let p = FaultPlan::from_seed(seed);
+            let atoms = p.atoms();
+            assert!(!atoms.is_empty() || p.is_none());
+            assert_eq!(FaultPlan::from_atoms(p.seed, &atoms), p, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn from_atoms_of_a_subset_is_a_sub_plan() {
+        let p = FaultPlan::from_seed(42);
+        let atoms = p.atoms();
+        for skip in 0..atoms.len() {
+            let subset: Vec<FaultAtom> = atoms
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, a)| *a)
+                .collect();
+            let sub = FaultPlan::from_atoms(p.seed, &subset);
+            assert_eq!(sub.atoms(), subset, "subsets re-decompose to themselves");
+            assert!(sub.scheduled() <= p.scheduled());
+        }
+    }
+
+    #[test]
+    fn json_round_trips_seeded_and_hand_plans() {
+        let hand = FaultPlan {
+            seed: 7,
+            byte_test_junk_reads: 3,
+            frame_faults: vec![
+                (0, FrameFault::Drop),
+                (1, FrameFault::Truncate(9)),
+                (
+                    2,
+                    FrameFault::Corrupt {
+                        offset: 5,
+                        xor: 0xA5,
+                    },
+                ),
+            ],
+            rx_stalls: vec![(10, 20)],
+            wire_garbage: vec![(3, 0xFF)],
+            spurious_rx_reads: vec![1, 2],
+            ..FaultPlan::default()
+        };
+        for p in (0..64).map(FaultPlan::from_seed).chain([hand]) {
+            let text = p.to_json().render();
+            let back = FaultPlan::from_json(&obs::json::parse(&text).expect("valid JSON"))
+                .expect("plan parses back");
+            assert_eq!(back, p);
+        }
     }
 
     #[test]

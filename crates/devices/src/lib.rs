@@ -35,7 +35,7 @@ pub mod workload;
 
 pub use bus::{Board, GPIO_BASE, SPI_BASE};
 pub use ethernet::{build_udp_frame, parse_udp_frame, FrameSpec, ParseError, ParsedUdp};
-pub use faults::{FaultPlan, FrameFault};
+pub use faults::{FaultAtom, FaultPlan, FrameFault};
 pub use gpio::Gpio;
 pub use lan9250::Lan9250;
 pub use spi::{Spi, SpiConfig, SpiSlave, SpiStats};

@@ -3,8 +3,13 @@
 //! work — see `DESIGN.md` "Deterministic fault injection").
 
 use lightbulb_system::devices::{FaultPlan, TrafficGen};
-use lightbulb_system::integration::differential::{fault_sweep, FaultSweepConfig, SweepReport};
-use lightbulb_system::integration::{build_image, DiffError, ProcessorKind, SystemConfig};
+use lightbulb_system::integration::differential::{
+    fault_sweep, fault_sweep_with, resilient_sweep, CheckpointConfig, FaultSweepConfig,
+    FaultSweepOptions, RetryPolicy, SweepOptions, SweepReport,
+};
+use lightbulb_system::integration::{
+    build_image, DiffError, ProcessorKind, SweepCheckpoint, SystemConfig, TriageSummary,
+};
 use obs::Counters;
 
 const BUDGET: u64 = 250_000;
@@ -81,7 +86,9 @@ fn fault_sweep_smoke_is_clean_and_shard_count_invariant() {
 }
 
 /// `expect_clean` must name both the failing seed and its shard, so a
-/// sweep failure in CI reproduces with a one-liner.
+/// sweep failure in CI reproduces with a one-liner — and when the sweep
+/// carried checkpoint/triage context, the message must surface that too:
+/// the panic string is the only thing CI shows, so it is the contract.
 #[test]
 fn expect_clean_names_the_failing_seed_and_shard() {
     let report = SweepReport {
@@ -89,10 +96,18 @@ fn expect_clean_names_the_failing_seed_and_shard() {
         conclusive: 39,
         inconclusive: 0,
         failures: vec![(13, DiffError::MachineTimeout)],
-        counters: Counters::new(),
         shards: 4,
         start: 0,
         chunk: 10,
+        checkpoint_path: Some("/tmp/sweep.cp.json".to_string()),
+        triage: vec![TriageSummary {
+            seed: 13,
+            original_atoms: 9,
+            minimal_atoms: 2,
+            divergence: "workload stalls after event 41".to_string(),
+            artifact: None,
+        }],
+        ..SweepReport::default()
     };
     assert_eq!(report.shard_of(13), 1);
     let panic = std::panic::catch_unwind(|| report.expect_clean("doomed"))
@@ -109,4 +124,267 @@ fn expect_clean_names_the_failing_seed_and_shard() {
         msg.contains("13..14"),
         "message must give a one-liner repro range: {msg}"
     );
+    assert!(
+        msg.contains("shrank 9 -> 2 fault atoms"),
+        "message must quote the triage summary: {msg}"
+    );
+    assert!(
+        msg.contains("workload stalls after event 41"),
+        "message must name the divergence site: {msg}"
+    );
+    assert!(
+        msg.contains("/tmp/sweep.cp.json"),
+        "message must point at the checkpoint: {msg}"
+    );
+}
+
+/// A panicking seed must not abort the sweep: the panic is caught, the
+/// seed recorded, and every other seed still classified. `expect_clean`
+/// then fails with the panicking seed named.
+#[test]
+fn a_panicking_seed_is_isolated_and_reported() {
+    let report = resilient_sweep(0..20, 4, &SweepOptions::default(), |seed, _, _| {
+        assert!(seed != 13, "planted panic on seed 13");
+        Ok(())
+    });
+    assert_eq!(report.conclusive, 19, "the other seeds must still run");
+    assert_eq!(report.panicked.len(), 1);
+    assert_eq!(report.panicked[0].0, 13);
+    assert!(
+        report.panicked[0].1.contains("planted panic"),
+        "payload must carry the panic message: {:?}",
+        report.panicked[0].1
+    );
+    assert_eq!(report.counters.get("core.diff.panicked"), 1);
+    assert!(!report.is_clean());
+    let panic = std::panic::catch_unwind(|| report.expect_clean("doomed"))
+        .expect_err("a report with panicked seeds must fail expect_clean");
+    let msg = panic.downcast_ref::<String>().expect("formatted payload");
+    assert!(msg.contains("seed 13"), "must name the seed: {msg}");
+}
+
+/// Transient failures (here: planted `MachineTimeout`s that clear on the
+/// second attempt) are retried under the policy and end up conclusive,
+/// with the recovery visible in the counters.
+#[test]
+fn transient_failures_are_retried_and_recover() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let first_attempts = AtomicU64::new(0);
+    let opts = SweepOptions {
+        retry: RetryPolicy {
+            attempts: 3,
+            base_backoff_ms: 0,
+            backoff_cap_ms: 0,
+        },
+        ..SweepOptions::default()
+    };
+    let report = resilient_sweep(0..10, 2, &opts, |seed, attempt, _| {
+        if seed % 3 == 0 && attempt == 0 {
+            first_attempts.fetch_add(1, Ordering::Relaxed);
+            return Err(DiffError::MachineTimeout);
+        }
+        Ok(())
+    });
+    report.expect_clean("retried sweep");
+    assert_eq!(report.conclusive, 10);
+    assert_eq!(first_attempts.load(Ordering::Relaxed), 4, "seeds 0,3,6,9");
+    assert_eq!(report.counters.get("core.diff.retried_seeds"), 4);
+    assert_eq!(report.counters.get("core.diff.recovered_seeds"), 4);
+    assert_eq!(report.counters.get("core.diff.retry_attempts"), 4);
+}
+
+/// Hard (non-transient) failures must classify on the first attempt: the
+/// retry budget is for budget exhaustion, not for reproducing a real
+/// disagreement three times.
+#[test]
+fn hard_failures_are_not_retried() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let calls = AtomicU64::new(0);
+    let opts = SweepOptions {
+        retry: RetryPolicy {
+            attempts: 3,
+            base_backoff_ms: 0,
+            backoff_cap_ms: 0,
+        },
+        ..SweepOptions::default()
+    };
+    let report = resilient_sweep(5..6, 1, &opts, |_, _, _| {
+        calls.fetch_add(1, Ordering::Relaxed);
+        Err(DiffError::SpecViolation {
+            matched: 1,
+            total: 2,
+            model: "pipelined",
+        })
+    });
+    assert_eq!(calls.load(Ordering::Relaxed), 1, "no retry on hard failure");
+    assert_eq!(report.failures.len(), 1);
+    assert_eq!(report.counters.get("core.diff.retry_attempts"), 0);
+}
+
+/// The resume property, end to end on the real fault-check: cancel a
+/// sweep partway (simulating a kill at an arbitrary cursor), resume from
+/// its checkpoint, and require the final report to be byte-identical to
+/// an uninterrupted run's.
+#[test]
+fn a_killed_sweep_resumes_to_a_byte_identical_report() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join("lightbulb-resume-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let cp_path = dir.join("fault_sweep.cp.json");
+    std::fs::remove_file(&cp_path).ok();
+    let checkpoint = || CheckpointConfig {
+        path: cp_path.clone(),
+        every: 1,
+        tag: "fault_sweep".to_string(),
+    };
+    let cfg = FaultSweepConfig::default();
+
+    // Reference: one uninterrupted run.
+    let fresh = fault_sweep_with(
+        0..6,
+        2,
+        &cfg,
+        &FaultSweepOptions {
+            sweep: SweepOptions {
+                checkpoint: Some(checkpoint()),
+                ..SweepOptions::default()
+            },
+            ..FaultSweepOptions::default()
+        },
+    );
+    fresh.expect_clean("fresh fault sweep");
+
+    // "Kill" a second run after a few seeds: the check itself flips the
+    // cancel flag (the engine checks it at every seed boundary), which is
+    // observationally a kill at an arbitrary cursor — except the final
+    // forced checkpoint still lands, as it would under a signal handler.
+    std::fs::remove_file(&cp_path).ok();
+    let cancel = Arc::new(AtomicBool::new(false));
+    let started = AtomicU64::new(0);
+    let image = build_image(&cfg.system);
+    let interrupted = {
+        let opts = SweepOptions {
+            checkpoint: Some(checkpoint()),
+            cancel: Some(Arc::clone(&cancel)),
+            ..SweepOptions::default()
+        };
+        resilient_sweep(0..6, 2, &opts, |seed, _, counters| {
+            if started.fetch_add(1, Ordering::Relaxed) >= 2 {
+                cancel.store(true, Ordering::Relaxed);
+            }
+            lightbulb_system::integration::fault_check(seed, &cfg, &image, counters)
+        })
+    };
+    assert!(interrupted.interrupted, "the cancel flag must interrupt");
+    assert!(
+        interrupted.conclusive < 6,
+        "interruption must leave seeds unswept"
+    );
+    assert!(
+        cp_path.exists(),
+        "an interrupted sweep must leave a checkpoint"
+    );
+
+    // Resume from the on-disk checkpoint and finish the range.
+    let resume = SweepCheckpoint::load(&cp_path).expect("checkpoint loads");
+    assert!(resume.completed() < 6, "checkpoint must be partial");
+    let resumed = fault_sweep_with(
+        0..6,
+        2,
+        &cfg,
+        &FaultSweepOptions {
+            sweep: SweepOptions {
+                checkpoint: Some(checkpoint()),
+                resume: Some(resume),
+                ..SweepOptions::default()
+            },
+            ..FaultSweepOptions::default()
+        },
+    );
+    resumed.expect_clean("resumed fault sweep");
+    assert_eq!(
+        resumed.to_json().render(),
+        fresh.to_json().render(),
+        "kill-and-resume must reproduce the fresh report byte for byte"
+    );
+    std::fs::remove_file(&cp_path).ok();
+}
+
+/// Resume must refuse a checkpoint from a different sweep: silently
+/// resuming under the wrong geometry would fabricate results.
+#[test]
+fn resume_refuses_a_mismatched_checkpoint() {
+    let cp = SweepCheckpoint::fresh("fault_sweep", 0, 100, 4, 25);
+    assert!(cp.validate(0, 100, 4, 25, Some("fault_sweep")).is_ok());
+    assert!(cp.validate(0, 60, 4, 15, Some("fault_sweep")).is_err());
+    assert!(cp.validate(0, 100, 4, 25, Some("compiler_sweep")).is_err());
+    let opts = SweepOptions {
+        resume: Some(SweepCheckpoint::fresh("", 0, 999, 1, 999)),
+        ..SweepOptions::default()
+    };
+    let panic = std::panic::catch_unwind(|| resilient_sweep(0..4, 2, &opts, |_, _, _| Ok(())))
+        .expect_err("mismatched geometry must refuse to resume");
+    let msg = panic.downcast_ref::<String>().expect("formatted payload");
+    assert!(
+        msg.contains("cannot resume"),
+        "must explain the refusal: {msg}"
+    );
+}
+
+/// The triage path end to end on the real stack: a hand-built
+/// unrecoverable plan (bring-up junk far beyond the driver's retry
+/// budget, plus independent noise atoms) fails the liveness-mode check;
+/// triage must shrink it to a strictly smaller plan that still fails and
+/// name the divergence site.
+#[test]
+fn an_unrecoverable_plan_shrinks_to_a_smaller_failing_plan() {
+    let cfg = FaultSweepConfig {
+        require_done: true,
+        ..FaultSweepConfig::default()
+    };
+    let image = build_image(&cfg.system);
+    // The culprit: BYTE_TEST junk for 10_000 reads, far past the driver's
+    // bring-up budget, so initialization never succeeds and no frame is
+    // ever delivered. The noise: faults triage should strip.
+    let plan = FaultPlan {
+        byte_test_junk_reads: 10_000,
+        spurious_rx_reads: vec![40, 90],
+        wire_garbage: vec![(25, 0x5A)],
+        ..FaultPlan::none()
+    };
+    let report = lightbulb_system::integration::triage_plan(&plan, &cfg, &image)
+        .expect("the planted plan must fail and therefore triage");
+    let original = report.original.atoms().len();
+    let minimal = report.minimal.atoms().len();
+    assert!(
+        minimal < original,
+        "triage must strip noise: {minimal} of {original} atoms left"
+    );
+    assert!(minimal >= 1, "the culprit atom must survive");
+    assert!(
+        report.minimal.byte_test_junk_reads == 10_000,
+        "the culprit (bring-up junk) must be in the minimal plan: {:?}",
+        report.minimal
+    );
+    assert!(
+        matches!(report.error, DiffError::WorkloadIncomplete { .. }),
+        "liveness mode must classify the stall: {:?}",
+        report.error
+    );
+    assert!(
+        !report.site.description.is_empty(),
+        "the divergence site must be named"
+    );
+    // The artifact is a complete, self-describing JSON document whose
+    // minimal plan round-trips for --replay-plan.
+    let doc = obs::json::parse(&report.to_json().render()).expect("artifact is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(obs::json::Value::as_str),
+        Some("triage-report/v1")
+    );
+    let replayed = FaultPlan::from_json(doc.get("minimal").expect("minimal plan present"))
+        .expect("minimal plan parses back");
+    assert_eq!(replayed, report.minimal);
 }
