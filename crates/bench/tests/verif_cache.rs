@@ -1,0 +1,90 @@
+//! Cross-process persistence of the verification cache: a cold
+//! `verif_perf` run populates the `verif-cache/v1` store, and later
+//! processes that reload it must (a) re-prove nothing and (b) produce
+//! byte-identical `--json` output in `--stable` mode — the executable
+//! analogue of rebuilding a Coq development against unchanged `.vo` files.
+
+use obs::json::{parse, Value};
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+fn run_verif_perf(cache: &Path) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_verif_perf"))
+        .args(["--json", "--stable", "--engine-only", "--cache"])
+        .arg(cache)
+        .output()
+        .expect("spawning verif_perf");
+    assert!(
+        out.status.success(),
+        "verif_perf failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("verif_perf output is UTF-8")
+}
+
+fn engine_field<'a>(doc: &'a Value, path: &[&str]) -> &'a Value {
+    let mut v = doc.get("data").expect("data");
+    for key in path {
+        v = v
+            .get(key)
+            .unwrap_or_else(|| panic!("missing field {key} in {path:?}"));
+    }
+    v
+}
+
+#[test]
+fn persisted_cache_reloads_across_processes() {
+    let dir = std::env::temp_dir().join(format!("verif-cache-test-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("temp dir");
+    let cache = dir.join("cache.json");
+    let bench_record = bench::workspace_root().join("BENCH_verif_perf.json");
+    let record_before = fs::read(&bench_record).ok();
+
+    // Process 1: cold — no store on disk yet, every obligation is solved.
+    let cold = run_verif_perf(&cache);
+    let cold_doc = parse(&cold).expect("cold output parses");
+    assert_eq!(
+        engine_field(&cold_doc, &["engine", "preloaded"]),
+        &Value::UInt(0),
+        "first process must start cold"
+    );
+    let solved = engine_field(&cold_doc, &["engine", "cold", "misses"]);
+    assert!(matches!(solved, Value::UInt(n) if *n > 0), "{solved:?}");
+    assert!(cache.exists(), "the store must be written on exit");
+
+    // Process 2: the reloaded store answers everything.
+    let warm1 = run_verif_perf(&cache);
+    let warm_doc = parse(&warm1).expect("warm output parses");
+    let preloaded = engine_field(&warm_doc, &["engine", "preloaded"]);
+    assert!(
+        matches!(preloaded, Value::UInt(n) if *n > 0),
+        "second process must reload the store, got {preloaded:?}"
+    );
+    assert_eq!(
+        engine_field(&warm_doc, &["engine", "cold", "misses"]),
+        &Value::UInt(0),
+        "a reloaded cache must re-prove nothing"
+    );
+    assert_eq!(
+        engine_field(&warm_doc, &["engine", "proved"]),
+        engine_field(&cold_doc, &["engine", "proved"]),
+        "outcomes must not change across processes"
+    );
+
+    // Process 3: identical cache state, byte-identical output.
+    let warm2 = run_verif_perf(&cache);
+    assert_eq!(
+        warm1, warm2,
+        "two warm processes over the same store must emit identical bytes"
+    );
+
+    // `--stable` must never touch the committed bench record.
+    assert_eq!(
+        fs::read(&bench_record).ok(),
+        record_before,
+        "--stable must not rewrite BENCH_verif_perf.json"
+    );
+
+    fs::remove_dir_all(&dir).ok();
+}

@@ -20,6 +20,8 @@
 //! * [`summary`] — plain-text counter report.
 //! * [`json`] — a dependency-free JSON writer and validating parser (used
 //!   by the `--json` bench mode and CI validation).
+//! * [`fx`] — deterministic FxHash-style mixing, shared by memo tables and
+//!   the hash-consed term fingerprints in `proglogic`.
 //!
 //! # Counter naming scheme
 //!
@@ -29,6 +31,7 @@
 //! prefix is what [`summary::render`] groups by.
 
 pub mod chrome;
+pub mod fx;
 pub mod json;
 pub mod summary;
 

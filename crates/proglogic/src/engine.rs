@@ -1,0 +1,240 @@
+//! The parallel obligation engine.
+//!
+//! Verification condition batches are embarrassingly parallel: each
+//! obligation is a pure `(assumptions, goal)` query, so a batch can be
+//! sharded across OS threads exactly like `differential::parallel_sweep`
+//! shards differential-test seeds in `crates/core`. The same determinism
+//! discipline applies:
+//!
+//! * obligations are split into *contiguous* chunks, one per shard;
+//! * every shard proves into its own [`ProofCache`] overlay, primed from a
+//!   snapshot of the shared cache (shards never contend on a lock);
+//! * shard results are merged back in shard (= ascending obligation)
+//!   order, so outcomes, the final cache contents, and the exported
+//!   counters are all deterministic functions of the inputs.
+//!
+//! Outcomes are additionally *shard-count invariant* — the solver is pure,
+//! so splitting work differently cannot change any answer (only the
+//! hit/miss split, since shards deduplicate work against their own overlay
+//! rather than each other's; the report records the shard count next to
+//! those counters for exactly that reason).
+
+use crate::formula::Formula;
+use crate::solver::{Outcome, ProofCache};
+use obs::Counters;
+
+/// One deferred verification condition: a goal under path assumptions,
+/// plus the diagnostic context a failure should report.
+#[derive(Clone, Debug)]
+pub struct Obligation {
+    /// What this obligation checks (e.g. `"store within pad bounds"`).
+    pub context: String,
+    /// The path condition in force.
+    pub assumptions: Vec<Formula>,
+    /// The goal to prove.
+    pub goal: Formula,
+}
+
+/// Result of proving a batch: per-obligation outcomes in input order plus
+/// the cache traffic the batch generated.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Outcome of each obligation, in input order.
+    pub outcomes: Vec<Outcome>,
+    /// Shards the batch ran on.
+    pub shards: usize,
+    /// Obligations answered from the cache (shared snapshot or the
+    /// shard's own overlay).
+    pub cache_hits: u64,
+    /// Obligations actually solved.
+    pub cache_misses: u64,
+}
+
+impl BatchReport {
+    /// Number of proved obligations.
+    pub fn proved(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|&&o| o == Outcome::Proved)
+            .count()
+    }
+
+    /// Index of the first unproved obligation, when any.
+    pub fn first_failure(&self) -> Option<usize> {
+        self.outcomes.iter().position(|&o| o != Outcome::Proved)
+    }
+
+    /// Whether every obligation was proved.
+    pub fn all_proved(&self) -> bool {
+        self.first_failure().is_none()
+    }
+
+    /// Telemetry: `proglogic.solver.{cache_hit,cache_miss,proved,shards}`.
+    pub fn counters(&self) -> Counters {
+        let mut c = Counters::new();
+        c.set("proglogic.solver.cache_hit", self.cache_hits);
+        c.set("proglogic.solver.cache_miss", self.cache_misses);
+        c.set("proglogic.solver.proved", self.proved() as u64);
+        c.set("proglogic.solver.shards", self.shards as u64);
+        c
+    }
+}
+
+/// Proves `obligations` across `shards` OS threads, reading and (on
+/// return) extending `cache` when one is supplied.
+///
+/// Outcomes are deterministic and shard-count invariant; the hit/miss
+/// split is deterministic for a fixed shard count. With a cache, new
+/// results are merged back in shard order, so the final cache state is
+/// reproducible too. Persisting the cache remains the caller's decision
+/// ([`ProofCache::save`]).
+pub fn prove_batch(
+    obligations: &[Obligation],
+    shards: usize,
+    cache: Option<&mut ProofCache>,
+) -> BatchReport {
+    let shards = shards.clamp(1, obligations.len().max(1));
+    let base = cache.as_ref().map(|c| c.snapshot()).unwrap_or_default();
+    let per_shard = obligations.len().div_ceil(shards);
+
+    let mut outcomes = Vec::with_capacity(obligations.len());
+    let mut locals: Vec<ProofCache> = Vec::with_capacity(shards);
+
+    if shards == 1 {
+        // Degenerate case inline — no thread spawn on single-core runners.
+        let mut local = base;
+        for ob in obligations {
+            outcomes.push(local.prove(&ob.assumptions, &ob.goal));
+        }
+        locals.push(local);
+    } else {
+        let chunks: Vec<&[Obligation]> = obligations.chunks(per_shard.max(1)).collect();
+        let mut results: Vec<Option<(Vec<Outcome>, ProofCache)>> = Vec::new();
+        results.resize_with(chunks.len(), || None);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(chunks.len());
+            for chunk in &chunks {
+                let mut local = base.snapshot();
+                handles.push(scope.spawn(move || {
+                    let outcomes: Vec<Outcome> = chunk
+                        .iter()
+                        .map(|ob| local.prove(&ob.assumptions, &ob.goal))
+                        .collect();
+                    (outcomes, local)
+                }));
+            }
+            // Join in shard order: the merge below is deterministic.
+            for (slot, handle) in results.iter_mut().zip(handles) {
+                *slot = Some(
+                    handle
+                        .join()
+                        .expect("prove_batch shard panicked; the solver must not panic"),
+                );
+            }
+        });
+        for slot in results {
+            let (shard_outcomes, local) =
+                slot.expect("every shard slot is filled by the scope above");
+            outcomes.extend(shard_outcomes);
+            locals.push(local);
+        }
+    }
+
+    let (mut hits, mut misses) = (0, 0);
+    for local in &locals {
+        hits += local.hits();
+        misses += local.misses();
+    }
+    if let Some(cache) = cache {
+        // Merge overlays back in shard order (later shards win ties, but
+        // ties are identical outcomes — the solver is deterministic).
+        for local in &locals {
+            cache.absorb(local);
+        }
+    }
+
+    BatchReport {
+        outcomes,
+        shards,
+        cache_hits: hits,
+        cache_misses: misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+    use crate::solver::prove;
+    use crate::term::Term;
+
+    fn workload(n: u32) -> Vec<Obligation> {
+        (0..n)
+            .map(|i| {
+                let x = Term::var(0, "x");
+                let bound = 10 + (i % 7);
+                Obligation {
+                    context: format!("ob{i}"),
+                    assumptions: vec![Formula::ltu(&x, &Term::constant(bound))],
+                    goal: Formula::ltu(&x.add_const(i % 3), &Term::constant(bound + 2)),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outcomes_match_direct_prove_and_are_shard_invariant() {
+        let obs = workload(41);
+        let direct: Vec<Outcome> = obs
+            .iter()
+            .map(|ob| prove(&ob.assumptions, &ob.goal))
+            .collect();
+        for shards in [1, 2, 3, 8, 64] {
+            let report = prove_batch(&obs, shards, None);
+            assert_eq!(report.outcomes, direct, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn cache_warms_across_batches() {
+        let obs = workload(20);
+        let mut cache = ProofCache::new();
+        let cold = prove_batch(&obs, 4, Some(&mut cache));
+        assert!(cold.cache_misses > 0);
+        let warm = prove_batch(&obs, 4, Some(&mut cache));
+        assert_eq!(warm.outcomes, cold.outcomes);
+        // Every obligation was already cached: zero misses on the re-run.
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.cache_hits, obs.len() as u64);
+    }
+
+    #[test]
+    fn counters_report_the_batch_shape() {
+        let obs = workload(10);
+        let report = prove_batch(&obs, 2, None);
+        let c = report.counters();
+        assert_eq!(c.get("proglogic.solver.shards"), 2);
+        assert_eq!(
+            c.get("proglogic.solver.cache_hit") + c.get("proglogic.solver.cache_miss"),
+            10
+        );
+        assert_eq!(c.get("proglogic.solver.proved"), report.proved() as u64);
+    }
+
+    #[test]
+    fn first_failure_is_lowest_index() {
+        let x = Term::var(0, "x");
+        let mut obs = workload(5);
+        obs.insert(
+            2,
+            Obligation {
+                context: "unprovable".into(),
+                assumptions: vec![],
+                goal: Formula::ltu(&x, &Term::constant(1)),
+            },
+        );
+        let report = prove_batch(&obs, 3, None);
+        assert_eq!(report.first_failure(), Some(2));
+        assert!(!report.all_proved());
+    }
+}

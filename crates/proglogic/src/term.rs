@@ -1,14 +1,38 @@
-//! Symbolic 32-bit words.
+//! Symbolic 32-bit words, hash-consed.
 //!
 //! Terms are built over the same operator set as Bedrock2 expressions
 //! ([`bedrock2::ast::BinOp`]), so the symbolic executor can mirror the
 //! source semantics one constructor at a time. Construction simplifies
 //! eagerly (constant folding and a few identities), which keeps the terms
 //! the solver sees small.
+//!
+//! # Hash-consing
+//!
+//! Every term carries a 128-bit *structural fingerprint* (two independent
+//! FxHash lanes, see [`obs::fx`]) computed once at construction, and
+//! construction goes through a thread-local interner keyed by that
+//! fingerprint. Within a thread, building the same term twice returns the
+//! same allocation, so:
+//!
+//! * structural equality is usually pointer equality (`Arc::ptr_eq` fast
+//!   path, with a fingerprint-guarded structural fallback for terms that
+//!   crossed threads or collided in the interner);
+//! * `Hash` is O(1) — it feeds the cached fingerprint, never the tree —
+//!   which makes the solver's fact maps and the obligation cache cheap;
+//! * terms are `Send + Sync` (`Arc`-based), so obligation batches can be
+//!   sharded across `std::thread::scope` workers.
+//!
+//! The fallback keeps equality *sound* in the presence of fingerprint
+//! collisions: a collision can only cost a missed interning, never a wrong
+//! `==`. The obligation cache additionally relies on 128-bit fingerprints
+//! being collision-free in practice; see `solver::ProofCache`.
 
 use bedrock2::ast::BinOp;
+use obs::fx;
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A symbolic variable: a unique id plus a human-readable name.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -19,22 +43,52 @@ pub struct SymVar {
     pub name: String,
 }
 
-#[derive(Debug, PartialEq, Eq, Hash)]
+#[derive(Debug)]
 enum Node {
     Const(u32),
     Var(SymVar),
     Op(BinOp, Term, Term),
 }
 
-/// A symbolic word.
-#[derive(Clone, PartialEq, Eq, Hash)]
+struct Inner {
+    /// Structural fingerprint, fixed at construction. Part of the
+    /// persistent `verif-cache/v1` key derivation — the mixing scheme in
+    /// [`obs::fx`] must stay stable across releases.
+    fp: u128,
+    node: Node,
+}
+
+/// A symbolic word (an interned, immutable DAG node).
+#[derive(Clone)]
 pub struct Term {
-    node: Rc<Node>,
+    inner: Arc<Inner>,
+}
+
+/// Fingerprint seed (π digits) — any fixed odd-ish constant works; it only
+/// has to be the same in every process that shares a persistent cache.
+const SEED: u128 = 0x243F_6A88_85A3_08D3_1319_8A2E_0370_7344;
+
+const TAG_CONST: u64 = 0xC0;
+const TAG_VAR: u64 = 0x7A;
+const TAG_OP: u64 = 0x09;
+
+/// Interner size cap per thread; past this the table is dropped and
+/// rebuilt, bounding memory for pathological workloads (a cleared table
+/// only costs duplicate allocations, never correctness).
+const INTERN_CAP: usize = 1 << 20;
+
+thread_local! {
+    static INTERNER: RefCell<HashMap<u128, Term, fx::FxBuild>> =
+        RefCell::new(HashMap::default());
+}
+
+fn fold128(h: u128, x: u128) -> u128 {
+    fx::mix128(fx::mix128(h, x as u64), (x >> 64) as u64)
 }
 
 impl fmt::Debug for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &*self.node {
+        match &self.inner.node {
             Node::Const(c) => {
                 if *c >= 0x1000 {
                     write!(f, "0x{c:x}")
@@ -48,27 +102,110 @@ impl fmt::Debug for Term {
     }
 }
 
+impl PartialEq for Term {
+    fn eq(&self, other: &Term) -> bool {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return true;
+        }
+        if self.inner.fp != other.inner.fp {
+            return false;
+        }
+        // Same fingerprint but different allocation: either the terms
+        // crossed threads (each thread has its own interner) or the
+        // fingerprints collided. Decide structurally; inner comparisons
+        // re-enter the pointer fast path, so this stays shallow.
+        match (&self.inner.node, &other.inner.node) {
+            (Node::Const(a), Node::Const(b)) => a == b,
+            (Node::Var(a), Node::Var(b)) => a == b,
+            (Node::Op(op1, a1, b1), Node::Op(op2, a2, b2)) => op1 == op2 && a1 == a2 && b1 == b2,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Term {}
+
+impl std::hash::Hash for Term {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // O(1): the cached fingerprint stands in for the whole tree.
+        state.write_u128(self.inner.fp);
+    }
+}
+
 impl Term {
+    /// The term's 128-bit structural fingerprint (equal terms have equal
+    /// fingerprints; the converse holds up to hash collisions).
+    pub fn fingerprint(&self) -> u128 {
+        self.inner.fp
+    }
+
+    /// Interns `node` under `fp`, returning the canonical allocation for
+    /// this thread when one exists.
+    fn intern(fp: u128, node: Node) -> Term {
+        INTERNER.with(|table| {
+            let mut table = table.borrow_mut();
+            if let Some(existing) = table.get(&fp) {
+                let same = match (&existing.inner.node, &node) {
+                    (Node::Const(a), Node::Const(b)) => a == b,
+                    (Node::Var(a), Node::Var(b)) => a == b,
+                    (Node::Op(op1, a1, b1), Node::Op(op2, a2, b2)) => {
+                        op1 == op2 && a1 == a2 && b1 == b2
+                    }
+                    _ => false,
+                };
+                if same {
+                    return existing.clone();
+                }
+                // Fingerprint collision: leave the incumbent interned and
+                // hand out a fresh allocation (equality stays sound via
+                // the structural fallback).
+                return Term {
+                    inner: Arc::new(Inner { fp, node }),
+                };
+            }
+            if table.len() >= INTERN_CAP {
+                table.clear();
+            }
+            let term = Term {
+                inner: Arc::new(Inner { fp, node }),
+            };
+            table.insert(fp, term.clone());
+            term
+        })
+    }
+
     /// A constant word.
     pub fn constant(c: u32) -> Term {
-        Term {
-            node: Rc::new(Node::Const(c)),
-        }
+        let fp = fx::mix128(fx::mix128(SEED, TAG_CONST), c as u64);
+        Term::intern(fp, Node::Const(c))
     }
 
     /// A symbolic variable.
     pub fn var(id: u32, name: &str) -> Term {
-        Term {
-            node: Rc::new(Node::Var(SymVar {
+        let mut fp = fx::mix128(fx::mix128(SEED, TAG_VAR), id as u64);
+        fp = fx::mix128(fp, name.len() as u64);
+        for b in name.bytes() {
+            fp = fx::mix128(fp, b as u64);
+        }
+        Term::intern(
+            fp,
+            Node::Var(SymVar {
                 id,
                 name: name.to_string(),
-            })),
-        }
+            }),
+        )
+    }
+
+    fn raw_op(op: BinOp, a: &Term, b: &Term) -> Term {
+        let mut fp = fx::mix128(fx::mix128(SEED, TAG_OP), op as u64);
+        fp = fold128(fp, a.inner.fp);
+        fp = fold128(fp, b.inner.fp);
+        Term::intern(fp, Node::Op(op, a.clone(), b.clone()))
     }
 
     /// The constant value, when this term is a constant.
     pub fn as_const(&self) -> Option<u32> {
-        match &*self.node {
+        match &self.inner.node {
             Node::Const(c) => Some(*c),
             _ => None,
         }
@@ -76,7 +213,7 @@ impl Term {
 
     /// The variable, when this term is a bare variable.
     pub fn as_var(&self) -> Option<&SymVar> {
-        match &*self.node {
+        match &self.inner.node {
             Node::Var(v) => Some(v),
             _ => None,
         }
@@ -84,7 +221,7 @@ impl Term {
 
     /// Destructures an operator application.
     pub fn as_op(&self) -> Option<(BinOp, &Term, &Term)> {
-        match &*self.node {
+        match &self.inner.node {
             Node::Op(op, a, b) => Some((*op, a, b)),
             _ => None,
         }
@@ -150,9 +287,7 @@ impl Term {
                 return Term::op(BinOp::Add, a, &Term::constant(signed2));
             }
         }
-        Term {
-            node: Rc::new(Node::Op(op, a.clone(), b.clone())),
-        }
+        Term::raw_op(op, a, b)
     }
 
     /// `self + other`.
@@ -185,7 +320,7 @@ impl Term {
     }
 
     fn collect_vars(&self, out: &mut Vec<SymVar>) {
-        match &*self.node {
+        match &self.inner.node {
             Node::Const(_) => {}
             Node::Var(v) => {
                 if !out.contains(v) {
@@ -246,5 +381,53 @@ mod tests {
         let x = Term::var(3, "len");
         let t = Term::op(BinOp::Ltu, &x, &Term::constant(1520));
         assert_eq!(format!("{t:?}"), "(len#3 < 1520)");
+    }
+
+    #[test]
+    fn hash_consing_makes_equality_pointer_equality() {
+        let a = Term::op(
+            BinOp::Add,
+            &Term::var(0, "x"),
+            &Term::op(BinOp::Mul, &Term::var(1, "i"), &Term::constant(4)),
+        );
+        let b = Term::op(
+            BinOp::Add,
+            &Term::var(0, "x"),
+            &Term::op(BinOp::Mul, &Term::var(1, "i"), &Term::constant(4)),
+        );
+        assert!(Arc::ptr_eq(&a.inner, &b.inner));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn distinct_terms_have_distinct_fingerprints() {
+        let x = Term::var(0, "x");
+        let y = Term::var(0, "y"); // same id, different name
+        assert_ne!(x, y);
+        assert_ne!(x.fingerprint(), y.fingerprint());
+        // Near-miss shapes that a weak hash might conflate.
+        let a = Term::op(BinOp::Sub, &x, &Term::constant(1));
+        let b = Term::op(BinOp::Add, &x, &Term::constant(1u32.wrapping_neg()));
+        // (note: x - 1 normalizes to x + (-1), so these SHOULD agree)
+        assert_eq!(a, b);
+        let c = Term::op(BinOp::Xor, &x, &Term::constant(1));
+        let d = Term::op(BinOp::Or, &x, &Term::constant(1));
+        assert_ne!(c.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn terms_cross_threads_and_still_compare_equal() {
+        let here = Term::op(BinOp::Add, &Term::var(7, "len"), &Term::constant(12));
+        let (there, there_fp) = std::thread::spawn(|| {
+            let t = Term::op(BinOp::Add, &Term::var(7, "len"), &Term::constant(12));
+            let fp = t.fingerprint();
+            (t, fp)
+        })
+        .join()
+        .expect("fingerprint thread panicked");
+        // Different interners, same structure: equality and fingerprints
+        // must agree even though the allocations differ.
+        assert_eq!(here, there);
+        assert_eq!(here.fingerprint(), there_fp);
     }
 }

@@ -330,27 +330,11 @@ impl TracePred {
     }
 }
 
-/// A fast, deterministic hasher for memo keys ((node pointer, position)
-/// pairs). The default SipHash dominates matching time on long traces;
-/// this FxHash-style multiply-mix is plenty for already-random pointers.
-#[derive(Default)]
-struct MemoHasher(u64);
-
-impl std::hash::Hasher for MemoHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01b3);
-        }
-    }
-    fn write_usize(&mut self, i: usize) {
-        self.0 = (self.0.rotate_left(23) ^ i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    }
-}
-
-type MemoMap<V> = HashMap<(usize, usize), V, std::hash::BuildHasherDefault<MemoHasher>>;
+// Memo keys are (node pointer, position) pairs — already well
+// distributed, so the default SipHash (which dominates matching time on
+// long traces) is replaced by the shared FxHash-style multiply-mix in
+// `obs::fx`, the same mixer behind the hash-consed term fingerprints.
+type MemoMap<V> = HashMap<(usize, usize), V, obs::fx::FxBuild>;
 
 #[derive(Default)]
 struct Memo {

@@ -1,0 +1,162 @@
+//! The obligation cache must be semantically invisible: for any batch of
+//! obligations, proving through a [`ProofCache`] — or through the sharded
+//! batch engine at any shard count — must return exactly the outcomes the
+//! bare [`prove`] would. A cache that ever changes an answer (a fingerprint
+//! collision routed to the wrong entry, a stale persisted result, a merge
+//! that loses an overlay) would silently un-verify the system, so this is
+//! the property the whole incremental engine hangs on.
+
+use bedrock2::ast::BinOp;
+use proglogic::{
+    obligation_fingerprint, prove, prove_batch, Formula, Obligation, Outcome, ProofCache, Term,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const NVARS: u32 = 3;
+
+/// Random terms biased toward *colliding-looking* shapes: a tiny constant
+/// pool and a tiny variable pool mean batches are full of terms that agree
+/// on most fingerprint inputs (same tags, same children, one constant or
+/// one operand swapped) — exactly the near-misses a sloppy hash scheme
+/// would conflate.
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (0u32..NVARS).prop_map(|i| Term::var(i, "v")),
+        prop_oneof![
+            Just(0u32),
+            Just(1),
+            Just(3),
+            Just(4),
+            Just(0xFF),
+            any::<u32>()
+        ]
+        .prop_map(Term::constant),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (inner.clone(), inner, 0u8..15).prop_map(|(a, b, k)| {
+            let op = BinOp::ALL[k as usize];
+            Term::op(op, &a, &b)
+        })
+    })
+}
+
+fn arb_cmp() -> impl Strategy<Value = Formula> {
+    (arb_term(), arb_term(), 0u8..4).prop_map(|(a, b, k)| match k {
+        0 => Formula::eq(&a, &b),
+        1 => Formula::ne(&a, &b),
+        2 => Formula::ltu(&a, &b),
+        _ => Formula::leu(&a, &b),
+    })
+}
+
+fn arb_obligation() -> impl Strategy<Value = (Vec<Formula>, Formula)> {
+    (proptest::collection::vec(arb_cmp(), 0..3), arb_cmp())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every query through the cache agrees with the bare solver, both on
+    /// the miss that populates it and on the hit that replays it.
+    #[test]
+    fn cached_outcomes_equal_uncached(
+        batch in proptest::collection::vec(arb_obligation(), 1..24),
+    ) {
+        let mut cache = ProofCache::new();
+        for (assumptions, goal) in &batch {
+            let direct = prove(assumptions, goal);
+            prop_assert_eq!(cache.prove(assumptions, goal), direct);
+            let hits = cache.hits();
+            prop_assert_eq!(cache.prove(assumptions, goal), direct);
+            prop_assert_eq!(cache.hits(), hits + 1, "the replay must be a hit");
+        }
+    }
+
+    /// The sharded batch engine returns the bare solver's outcomes at every
+    /// shard count, with or without a shared cache.
+    #[test]
+    fn batch_outcomes_are_shard_invariant_and_equal_direct(
+        batch in proptest::collection::vec(arb_obligation(), 1..24),
+    ) {
+        let obligations: Vec<Obligation> = batch
+            .iter()
+            .cloned()
+            .map(|(assumptions, goal)| Obligation {
+                context: String::new(),
+                assumptions,
+                goal,
+            })
+            .collect();
+        let direct: Vec<Outcome> = batch
+            .iter()
+            .map(|(assumptions, goal)| prove(assumptions, goal))
+            .collect();
+        for shards in [1usize, 3, 8] {
+            let report = prove_batch(&obligations, shards, None);
+            prop_assert_eq!(&report.outcomes, &direct, "shards={}", shards);
+            let mut cache = ProofCache::new();
+            let cold = prove_batch(&obligations, shards, Some(&mut cache));
+            prop_assert_eq!(&cold.outcomes, &direct, "cold, shards={}", shards);
+            let warm = prove_batch(&obligations, shards, Some(&mut cache));
+            prop_assert_eq!(&warm.outcomes, &direct, "warm, shards={}", shards);
+            prop_assert_eq!(warm.cache_misses, 0, "warm re-run must be all hits");
+        }
+    }
+}
+
+/// Hand-built near-misses: pairs that agree on everything except operand
+/// order, one constant, one variable identity, or assumption order. Each
+/// must key a distinct cache entry, and each cached answer must match the
+/// bare solver's.
+#[test]
+fn colliding_looking_obligations_stay_distinct() {
+    let x = Term::var(0, "x");
+    let y = Term::var(1, "y");
+    let c10 = Term::constant(10);
+    let c11 = Term::constant(11);
+    let lt_xy = Formula::ltu(&x, &y);
+    let lt_yx = Formula::ltu(&y, &x);
+    let le_xy = Formula::leu(&x, &y);
+
+    let cases: Vec<(Vec<Formula>, Formula)> = vec![
+        // Operand order in the goal.
+        (vec![], lt_xy.clone()),
+        (vec![], lt_yx.clone()),
+        // Strict vs non-strict with identical operands.
+        (vec![], le_xy.clone()),
+        // Off-by-one constants.
+        (vec![Formula::ltu(&x, &c10)], Formula::ltu(&x, &c11)),
+        (vec![Formula::ltu(&x, &c11)], Formula::ltu(&x, &c10)),
+        // Same shape, different variable.
+        (vec![Formula::ltu(&y, &c10)], Formula::ltu(&y, &c11)),
+        // Assumption order (the fingerprint is deliberately
+        // order-sensitive; see `solver::obligation_fingerprint`).
+        (vec![lt_xy.clone(), le_xy.clone()], lt_xy.clone()),
+        (vec![le_xy.clone(), lt_xy.clone()], lt_xy.clone()),
+        // Goal moved into the assumptions and vice versa.
+        (vec![lt_xy.clone()], le_xy.clone()),
+        (vec![le_xy], lt_xy),
+    ];
+
+    let fps: HashSet<u128> = cases
+        .iter()
+        .map(|(a, g)| obligation_fingerprint(a, g))
+        .collect();
+    assert_eq!(
+        fps.len(),
+        cases.len(),
+        "every near-miss must key its own cache entry"
+    );
+
+    let mut cache = ProofCache::new();
+    for (assumptions, goal) in &cases {
+        let direct = prove(assumptions, goal);
+        assert_eq!(
+            cache.prove(assumptions, goal),
+            direct,
+            "cached answer diverged for {goal:?} under {assumptions:?}"
+        );
+    }
+    assert_eq!(cache.misses(), cases.len() as u64, "no spurious hits");
+}

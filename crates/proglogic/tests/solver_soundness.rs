@@ -6,7 +6,7 @@
 //! incompleteness is fine, unsoundness is not).
 
 use bedrock2::ast::BinOp;
-use proglogic::{prove, Formula, Outcome, Term};
+use proglogic::{prove, Formula, FormulaView, Outcome, Term};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -56,16 +56,16 @@ fn eval_term(t: &Term, env: &HashMap<u32, u32>) -> u32 {
 }
 
 fn eval_formula(f: &Formula, env: &HashMap<u32, u32>) -> bool {
-    match f {
-        Formula::True => true,
-        Formula::False => false,
-        Formula::Eq(a, b) => eval_term(a, env) == eval_term(b, env),
-        Formula::Ne(a, b) => eval_term(a, env) != eval_term(b, env),
-        Formula::Ltu(a, b) => eval_term(a, env) < eval_term(b, env),
-        Formula::Leu(a, b) => eval_term(a, env) <= eval_term(b, env),
-        Formula::And(a, b) => eval_formula(a, env) && eval_formula(b, env),
-        Formula::Or(a, b) => eval_formula(a, env) || eval_formula(b, env),
-        Formula::Not(a) => !eval_formula(a, env),
+    match f.view() {
+        FormulaView::True => true,
+        FormulaView::False => false,
+        FormulaView::Eq(a, b) => eval_term(a, env) == eval_term(b, env),
+        FormulaView::Ne(a, b) => eval_term(a, env) != eval_term(b, env),
+        FormulaView::Ltu(a, b) => eval_term(a, env) < eval_term(b, env),
+        FormulaView::Leu(a, b) => eval_term(a, env) <= eval_term(b, env),
+        FormulaView::And(a, b) => eval_formula(a, env) && eval_formula(b, env),
+        FormulaView::Or(a, b) => eval_formula(a, env) || eval_formula(b, env),
+        FormulaView::Not(a) => !eval_formula(a, env),
     }
 }
 

@@ -1,7 +1,47 @@
 #!/usr/bin/env bash
-# Full check pipeline for the lightbulb-system workspace.
+# Check pipeline for the lightbulb-system workspace.
+#
+#   scripts/ci.sh          — the fast PR lane: clippy, tests, docs,
+#                            examples, tables, budgeted perf bins, the
+#                            bounded fault-sweep smoke, the warm-cache
+#                            verification smoke, and the perf-regression
+#                            gate.
+#   scripts/ci.sh --deep   — everything above plus the nightly deep lane:
+#                            the full 1000-seed fault sweep and a
+#                            cold-cache verif_perf recording.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+DEEP=0
+if [ "${1:-}" = "--deep" ]; then
+  DEEP=1
+fi
+
+# Wall-clock budgets (seconds) for the performance bins. These are
+# enforced, not advisory: a bin blowing through its budget fails the run.
+# They are sized for an order-of-magnitude regression (a slow CI runner
+# fits comfortably; an accidentally quadratic check does not) — the
+# fine-grained regression gate is scripts/bench_gate.sh. CI_BUDGET_MULT
+# scales all budgets for unusually slow machines.
+BUDGET_MULT="${CI_BUDGET_MULT:-1}"
+
+# run_budgeted NAME BUDGET_SECONDS CMD... — runs CMD, prints its wall
+# clock, and fails if it exceeded BUDGET_SECONDS * CI_BUDGET_MULT. The
+# report goes to stderr so callers can redirect CMD's stdout freely.
+run_budgeted() {
+  local name="$1" budget="$2"
+  shift 2
+  local start end elapsed
+  start=$(date +%s.%N)
+  "$@"
+  end=$(date +%s.%N)
+  elapsed=$(echo "$end $start" | awk '{printf "%.2f", $1 - $2}')
+  if echo "$elapsed $budget $BUDGET_MULT" | awk '{exit !($1 > $2 * $3)}'; then
+    echo "-- $name: ${elapsed} s — OVER BUDGET (${budget} s × ${BUDGET_MULT})" >&2
+    return 1
+  fi
+  echo "-- $name: ${elapsed} s (budget ${budget} s)" >&2
+}
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -24,24 +64,19 @@ for b in table1 table2 table3 table4; do
   cargo run --release -p bench --bin "$b" >/dev/null
 done
 
-echo "== performance bins (wall clock) =="
-for b in fig_perf verif_perf spec_throughput; do
-  start=$(date +%s.%N)
-  cargo run --release -p bench --bin "$b" >/dev/null
-  end=$(date +%s.%N)
-  echo "-- $b: $(echo "$end $start" | awk '{printf "%.2f", $1 - $2}') s"
-done
+echo "== performance bins (budgeted wall clock) =="
+run_budgeted fig_perf 180 cargo run --release -p bench --bin fig_perf >/dev/null
+run_budgeted verif_perf 120 cargo run --release -p bench --bin verif_perf >/dev/null
+run_budgeted spec_throughput 120 cargo run --release -p bench --bin spec_throughput >/dev/null
 
-echo "== fault-sweep smoke (wall clock) =="
+echo "== fault-sweep smoke (budgeted wall clock) =="
 # Bounded version of the full 1000-seed sweep (BENCH_fault_sweep.json):
 # every seeded fault plan must stay recoverable on both machine models,
 # and the report must be shard-count invariant (the binary self-checks).
 # Checkpointing is on so the resume path is exercised under real load;
 # a green sweep seals the checkpoint as fully-complete.
-start=$(date +%s.%N)
-cargo run --release -p bench --bin fault_sweep -- --seeds 96 --checkpoint /tmp/fault_sweep.cp.json --checkpoint-every 16
-end=$(date +%s.%N)
-echo "-- fault_sweep --seeds 96: $(echo "$end $start" | awk '{printf "%.2f", $1 - $2}') s"
+run_budgeted "fault_sweep --seeds 96" 300 \
+  cargo run --release -p bench --bin fault_sweep -- --seeds 96 --checkpoint /tmp/fault_sweep.cp.json --checkpoint-every 16
 
 echo "== fault-sweep triage demo =="
 # A deliberately unrecoverable plan (bring-up junk past the driver's
@@ -49,9 +84,29 @@ echo "== fault-sweep triage demo =="
 # 1-minimal plan, name its divergence site, write the triage artifact,
 # and reproduce from it — the whole red-sweep workflow, kept working by
 # running it on every CI pass.
-cargo run --release -p bench --bin fault_sweep -- --triage-demo
+run_budgeted "triage demo" 120 \
+  cargo run --release -p bench --bin fault_sweep -- --triage-demo
 test -s TRIAGE_fault_sweep_demo.json
 echo "-- triage demo: shrink + replay passed, artifact written"
+
+echo "== verification cache smoke (warm) =="
+# Cold run populates the persistent verif-cache/v1 store; the warm run
+# must answer every obligation from it. `--stable` keeps both runs from
+# touching the committed BENCH_verif_perf.json.
+rm -f /tmp/verif-cache.json
+cargo run --release -p bench --bin verif_perf -- \
+  --engine-only --json --stable --cache /tmp/verif-cache.json > /tmp/verif_smoke_cold.json
+cargo run --release -p bench --bin verif_perf -- \
+  --engine-only --json --stable --cache /tmp/verif-cache.json > /tmp/verif_smoke_warm.json
+hits=$(sed -n 's/.*"cold":{"seconds":[^,]*,"hits":\([0-9]*\).*/\1/p' /tmp/verif_smoke_warm.json)
+misses=$(sed -n 's/.*"cold":{"seconds":[^,]*,"hits":[0-9]*,"misses":\([0-9]*\).*/\1/p' /tmp/verif_smoke_warm.json)
+test -n "$hits" && test -n "$misses"
+rate=$(echo "$hits $misses" | awk '{printf "%.1f", 100 * $1 / ($1 + $2)}')
+echo "-- verif smoke cache hit rate: ${rate}% (${hits} hits, ${misses} misses)"
+if [ "$misses" != "0" ]; then
+  echo "-- verif smoke: warm run re-proved ${misses} obligations — the persistent cache is not answering"
+  exit 1
+fi
 
 echo "== bench --json =="
 # emit_json re-parses its own output before printing, so a successful run
@@ -75,6 +130,37 @@ fi
 if command -v python3 >/dev/null 2>&1; then
   python3 -m json.tool < /tmp/bench_table1.json > /dev/null
   echo "-- BENCH_table1.json parses (python3)"
+fi
+
+echo "== perf-regression gate =="
+# Generate fresh records without clobbering the committed baselines
+# (emit_json writes BENCH_*.json in place, so park and restore them),
+# then compare fresh against baseline ±tolerance.
+for f in BENCH_verif_perf.json BENCH_spec_throughput.json; do
+  if [ -f "$f" ]; then cp "$f" "/tmp/$f.recorded"; fi
+done
+cargo run --release -p bench --bin verif_perf -- --json > /tmp/fresh_verif_perf.json
+cargo run --release -p bench --bin spec_throughput -- --json > /tmp/fresh_spec_throughput.json
+for f in BENCH_verif_perf.json BENCH_spec_throughput.json; do
+  if [ -f "/tmp/$f.recorded" ]; then mv "/tmp/$f.recorded" "$f"; fi
+done
+scripts/bench_gate.sh /tmp/fresh_verif_perf.json /tmp/fresh_spec_throughput.json
+
+if [ "$DEEP" = "1" ]; then
+  echo "== deep: full 1000-seed fault sweep =="
+  # Regenerates BENCH_fault_sweep.json in place — the nightly workflow
+  # uploads it as an artifact so drift from the committed record is
+  # visible without committing from CI.
+  run_budgeted "fault_sweep --seeds 1000" 3600 \
+    cargo run --release -p bench --bin fault_sweep -- --seeds 1000 --json > /tmp/bench_fault_sweep_deep.json
+  test -s /tmp/bench_fault_sweep_deep.json
+
+  echo "== deep: cold-cache verif_perf =="
+  # A from-scratch proving run (no persistent store, full corpus + system
+  # checks) — the number the warm-cache PR smoke is measured against.
+  rm -f /tmp/verif-cache-deep.json
+  run_budgeted "verif_perf cold-cache" 600 \
+    cargo run --release -p bench --bin verif_perf -- --json --cache /tmp/verif-cache-deep.json > /dev/null
 fi
 
 echo "ALL CHECKS PASSED"
